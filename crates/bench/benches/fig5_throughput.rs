@@ -1,0 +1,58 @@
+//! Figure 5 — Transaction processing performance of the five cloud
+//! databases: TPS for every (scale factor, mix, concurrency) cell with one
+//! RW node and one RO node.
+//!
+//! Paper shapes to reproduce: CDB4 highest overall (≈3× CDB2); CDB3 above
+//! CDB1 and CDB2; CDB2 capped by its 44 MB buffer as data grows; AWS RDS
+//! best on small-SF read-write at low concurrency but degrading at SF100 /
+//! high concurrency (dirty-page flushing and checkpointing).
+
+use cb_bench::{oltp_cell, paper_mixes, standard_deployment, SEED, SIM_SCALE};
+use cb_sut::SutProfile;
+use cloudybench::report::{fnum, Table};
+use cloudybench::AccessDistribution;
+
+const CONCURRENCIES: [u32; 4] = [50, 100, 150, 200];
+const SCALE_FACTORS: [u64; 3] = [1, 10, 100];
+
+fn main() {
+    println!("=== Figure 5: transaction processing performance ===");
+    println!(
+        "(sim_scale {SIM_SCALE}, {}s windows, seed {SEED}; 1 RW + 1 RO)\n",
+        cb_bench::MEASURE_SECS
+    );
+    let mut grand: Vec<(String, f64, u32)> = Vec::new(); // (sut, sum, cells)
+    for sf in SCALE_FACTORS {
+        let mut table = Table::new(
+            &format!("Figure 5 — SF{sf}: TPS by mix and concurrency"),
+            &["System", "Mix", "con=50", "con=100", "con=150", "con=200"],
+        );
+        for profile in SutProfile::all() {
+            let mut dep = standard_deployment(&profile, sf);
+            for (label, mix) in paper_mixes() {
+                let mut cells = vec![profile.display.to_string(), label.to_string()];
+                for con in CONCURRENCIES {
+                    let cell = oltp_cell(&mut dep, mix, con, AccessDistribution::Uniform);
+                    cells.push(fnum(cell.avg_tps));
+                    match grand.iter_mut().find(|(n, _, _)| n == profile.display) {
+                        Some((_, sum, n)) => {
+                            *sum += cell.avg_tps;
+                            *n += 1;
+                        }
+                        None => grand.push((profile.display.to_string(), cell.avg_tps, 1)),
+                    }
+                }
+                table.row(&cells);
+            }
+        }
+        println!("{table}");
+    }
+    let mut avg = Table::new(
+        "Figure 5 — average TPS across all patterns and scale factors",
+        &["System", "Avg TPS"],
+    );
+    for (name, sum, n) in &grand {
+        avg.row(&[name.clone(), fnum(sum / *n as f64)]);
+    }
+    println!("{avg}");
+}

@@ -1,0 +1,57 @@
+//! Extension experiment (no direct paper analogue): per-transaction latency
+//! percentiles for each system and mix. The paper reports throughput;
+//! latency distributions expose *why* — CDB2's storage path stretches its
+//! tail, memory disaggregation keeps CDB4's p99 tight, and the `latest`
+//! skew adds lock-wait outliers.
+
+use cb_bench::{standard_deployment, SEED};
+use cb_sim::SimDuration;
+use cb_sut::SutProfile;
+use cloudybench::driver::VcoreControl;
+use cloudybench::report::Table;
+use cloudybench::{run, AccessDistribution, KeyPartition, RunOptions, TenantSpec, TxnMix};
+
+fn main() {
+    println!("=== Latency profile (extension): percentiles by system and mix ===\n");
+    let mut table = Table::new(
+        "Latency percentiles, ms (SF10, con=100)",
+        &["System", "Mix", "Dist", "p50", "p95", "p99", "max"],
+    );
+    for profile in SutProfile::all() {
+        let mut dep = standard_deployment(&profile, 10);
+        for (label, mix, dist) in [
+            ("RO", TxnMix::read_only(), AccessDistribution::Uniform),
+            ("RW", TxnMix::read_write(), AccessDistribution::Uniform),
+            ("RW hot", TxnMix::read_write(), AccessDistribution::Latest(10)),
+        ] {
+            dep.reset_runtime();
+            let spec = TenantSpec::constant(
+                100,
+                SimDuration::from_secs(20),
+                mix,
+                dist,
+                KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+            );
+            let opts = RunOptions {
+                seed: SEED,
+                vcores: VcoreControl::Fixed,
+                ..RunOptions::default()
+            };
+            let r = run(&mut dep, &[spec], &opts);
+            let t = &r.tenants[0];
+            table.row(&[
+                profile.display.to_string(),
+                label.to_string(),
+                match dist {
+                    AccessDistribution::Uniform => "uniform".to_string(),
+                    AccessDistribution::Latest(n) => format!("latest-{n}"),
+                },
+                format!("{:.2}", t.latency_percentile_ms(50.0)),
+                format!("{:.2}", t.latency_percentile_ms(95.0)),
+                format!("{:.2}", t.latency_percentile_ms(99.0)),
+                format!("{:.2}", t.latency_max.as_millis_f64()),
+            ]);
+        }
+    }
+    println!("{table}");
+}

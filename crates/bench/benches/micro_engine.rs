@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the storage-engine hot paths: B+tree point
+//! operations, buffer-pool touches, WAL appends, and row codec throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cb_engine::btree::{AccessLog, BTree};
+use cb_engine::{BufferPool, Row, Value};
+use cb_store::{LogStore, PageId, PageStore, TxnId, WalOp};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut store = PageStore::new();
+    let mut tree = BTree::create(&mut store);
+    let mut log = AccessLog::new();
+    for k in 0..100_000i64 {
+        tree.insert(&mut store, k, format!("value-{k}").as_bytes(), &mut log)
+            .expect("unique keys");
+        log.clear();
+    }
+    c.bench_function("btree_get_100k", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            let mut alog = AccessLog::new();
+            black_box(tree.get(&store, k, &mut alog))
+        })
+    });
+    c.bench_function("btree_insert_delete", |b| {
+        let mut k = 200_000i64;
+        b.iter(|| {
+            k += 1;
+            let mut alog = AccessLog::new();
+            tree.insert(&mut store, k, b"payload", &mut alog).expect("fresh key");
+            tree.delete(&mut store, k, &mut alog);
+        })
+    });
+}
+
+fn bench_bufferpool(c: &mut Criterion) {
+    c.bench_function("bufferpool_touch_hit", |b| {
+        let mut pool = BufferPool::new(1024);
+        for i in 0..1024u64 {
+            pool.touch(PageId(i), false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 13) % 1024;
+            black_box(pool.touch(PageId(i), false))
+        })
+    });
+    c.bench_function("bufferpool_touch_evict", |b| {
+        let mut pool = BufferPool::new(256);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(pool.touch(PageId(i), i.is_multiple_of(3)))
+        })
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    c.bench_function("wal_append_insert", |b| {
+        b.iter_batched(
+            LogStore::new,
+            |mut log| {
+                for k in 0..64 {
+                    log.append(
+                        TxnId(1),
+                        WalOp::Insert {
+                            table: cb_store::TableId(1),
+                            key: k,
+                            row: vec![0u8; 64],
+                        },
+                    );
+                }
+                log
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_row_codec(c: &mut Criterion) {
+    let row = Row::new(vec![
+        Value::Int(42),
+        Value::Int(77),
+        Value::Text("PAID".into()),
+        Value::Int(123_456),
+        Value::Timestamp(1_700_000_000_000),
+        Value::Timestamp(1_700_000_000_001),
+    ]);
+    let encoded = row.encode();
+    c.bench_function("row_encode", |b| b.iter(|| black_box(row.encode())));
+    c.bench_function("row_decode", |b| b.iter(|| black_box(Row::decode(&encoded))));
+}
+
+criterion_group!(benches, bench_btree, bench_bufferpool, bench_wal, bench_row_codec);
+criterion_main!(benches);

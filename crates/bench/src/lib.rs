@@ -1,0 +1,95 @@
+//! # cb-bench — shared harness utilities for the paper-reproduction benches
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the CloudyBench paper. This library holds the glue they share: standard
+//! OLTP measurement runs, score assembly, and the experiment-wide defaults
+//! (simulation scale, run windows) documented in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+use cb_sim::{SimDuration, SimTime};
+use cb_sut::SutProfile;
+use cloudybench::cost::{ruc_cost, CostBreakdown, RucRates};
+use cloudybench::driver::VcoreControl;
+use cloudybench::{
+    run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
+};
+
+/// Default simulation scale divisor: data and buffer pools shrink by this
+/// factor together, preserving cache-pressure ratios (see DESIGN.md §5).
+pub const SIM_SCALE: u64 = 100;
+
+/// Default measurement window for throughput cells.
+pub const MEASURE_SECS: u64 = 20;
+
+/// Default workload seed.
+pub const SEED: u64 = 2025;
+
+/// The outcome of one OLTP measurement cell.
+pub struct OltpCell {
+    /// Average TPS over the window.
+    pub avg_tps: f64,
+    /// RUC cost per minute.
+    pub cost_per_min: CostBreakdown,
+}
+
+/// Run one fixed-capacity OLTP cell: `concurrency` clients, the given mix,
+/// against an existing deployment.
+pub fn oltp_cell(
+    dep: &mut Deployment,
+    mix: TxnMix,
+    concurrency: u32,
+    dist: AccessDistribution,
+) -> OltpCell {
+    dep.reset_runtime();
+    let duration = SimDuration::from_secs(MEASURE_SECS);
+    let spec = TenantSpec::constant(
+        concurrency,
+        duration,
+        mix,
+        dist,
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    );
+    let opts = RunOptions {
+        seed: SEED,
+        vcores: VcoreControl::Fixed,
+        ..RunOptions::default()
+    };
+    let result = run(dep, &[spec], &opts);
+    let avg_tps = result.avg_tps(SimTime::ZERO, SimTime::ZERO + duration);
+    let usage = dep.usage(SimTime::ZERO, SimTime::ZERO + duration);
+    let cost = ruc_cost(&usage, &RucRates::default());
+    let minutes = duration.as_secs_f64() / 60.0;
+    OltpCell {
+        avg_tps,
+        cost_per_min: cost.scaled(1.0 / minutes),
+    }
+}
+
+/// Build the standard 1 RW + 1 RO deployment for throughput experiments.
+pub fn standard_deployment(profile: &SutProfile, scale_factor: u64) -> Deployment {
+    Deployment::new(profile.clone(), scale_factor, SIM_SCALE, 1, SEED)
+}
+
+/// The paper's three transaction-ratio modes.
+pub fn paper_mixes() -> [(&'static str, TxnMix); 3] {
+    [
+        ("RO", TxnMix::read_only()),
+        ("RW", TxnMix::read_write()),
+        ("WO", TxnMix::write_only()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oltp_cell_produces_sane_numbers() {
+        let profile = SutProfile::aws_rds();
+        let mut dep = Deployment::new(profile.clone(), 1, 2000, 1, SEED);
+        let cell = oltp_cell(&mut dep, TxnMix::read_only(), 10, AccessDistribution::Uniform);
+        assert!(cell.avg_tps > 100.0);
+        assert!(cell.cost_per_min.total() > 0.0);
+    }
+}

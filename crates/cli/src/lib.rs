@@ -1,0 +1,344 @@
+//! Props-file driven entry points for the CloudyBench testbed.
+//!
+//! The paper's testbed is configured through a properties file; this crate
+//! turns such a file into an evaluator run and a printed report. Used by
+//! the `cloudybench` binary and directly testable as a library.
+
+#![warn(missing_docs)]
+
+use cb_sim::{SimDuration, SimTime};
+use cb_sut::SutProfile;
+use cloudybench::config::{ConfigError, ElasticScheduleConfig, Props};
+use cloudybench::cost::{ruc_cost, RucRates};
+use cloudybench::lagtime::evaluate_lagtime_with_replicas;
+use cloudybench::driver::VcoreControl;
+use cloudybench::elasticity::{evaluate_elasticity, ElasticPattern};
+use cloudybench::failover_eval::evaluate_failover;
+
+use cloudybench::report::{fmoney, fnum, fsecs, Table};
+use cloudybench::tenancy::{evaluate_tenancy, TenancyPattern};
+use cloudybench::{
+    run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
+};
+
+/// A CLI-level failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Configuration problem.
+    Config(ConfigError),
+    /// Unknown enumeration value.
+    Unknown {
+        /// Key name.
+        key: &'static str,
+        /// Offending value.
+        value: String,
+        /// Accepted values.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Config(e) => write!(f, "{e}"),
+            CliError::Unknown { key, value, expected } => {
+                write!(f, "key {key}: unknown value {value:?} (expected one of: {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+
+fn parse_mix(props: &Props) -> Result<TxnMix, CliError> {
+    match props.get("mix").unwrap_or("rw") {
+        m if m.eq_ignore_ascii_case("ro") => Ok(TxnMix::read_only()),
+        m if m.eq_ignore_ascii_case("rw") => Ok(TxnMix::read_write()),
+        m if m.eq_ignore_ascii_case("wo") => Ok(TxnMix::write_only()),
+        other => {
+            // t1:t2:t3:t4 weights, e.g. "15:5:80:0".
+            let parts: Vec<f64> = other
+                .split(':')
+                .map(|p| p.trim().parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| CliError::Unknown {
+                    key: "mix",
+                    value: other.to_string(),
+                    expected: "ro, rw, wo, or t1:t2:t3:t4 weights",
+                })?;
+            if parts.len() != 4 {
+                return Err(CliError::Unknown {
+                    key: "mix",
+                    value: other.to_string(),
+                    expected: "four weights t1:t2:t3:t4",
+                });
+            }
+            Ok(TxnMix::new(parts[0], parts[1], parts[2], parts[3]))
+        }
+    }
+}
+
+fn parse_distribution(props: &Props) -> Result<AccessDistribution, CliError> {
+    match props.get("distribution").unwrap_or("uniform") {
+        d if d.eq_ignore_ascii_case("uniform") => Ok(AccessDistribution::Uniform),
+        d if d.to_ascii_lowercase().starts_with("latest-") => {
+            let n: u32 = d[7..].parse().map_err(|_| CliError::Unknown {
+                key: "distribution",
+                value: d.to_string(),
+                expected: "uniform or latest-N",
+            })?;
+            Ok(AccessDistribution::Latest(n))
+        }
+        other => Err(CliError::Unknown {
+            key: "distribution",
+            value: other.to_string(),
+            expected: "uniform or latest-N",
+        }),
+    }
+}
+
+fn parse_sut(props: &Props) -> Result<SutProfile, CliError> {
+    let name = props.get("sut").unwrap_or("cdb4");
+    SutProfile::by_name(name).ok_or(CliError::Unknown {
+        key: "sut",
+        value: name.to_string(),
+        expected: "aws-rds, cdb1, cdb2, cdb3, cdb4",
+    })
+}
+
+fn parse_elastic_pattern(props: &Props) -> Result<ElasticPattern, CliError> {
+    match props.get("pattern").unwrap_or("single-peak") {
+        p if p.eq_ignore_ascii_case("single-peak") => Ok(ElasticPattern::SinglePeak),
+        p if p.eq_ignore_ascii_case("large-spike") => Ok(ElasticPattern::LargeSpike),
+        p if p.eq_ignore_ascii_case("single-valley") => Ok(ElasticPattern::SingleValley),
+        p if p.eq_ignore_ascii_case("zero-valley") => Ok(ElasticPattern::ZeroValley),
+        other => Err(CliError::Unknown {
+            key: "pattern",
+            value: other.to_string(),
+            expected: "single-peak, large-spike, single-valley, zero-valley",
+        }),
+    }
+}
+
+fn parse_tenancy_pattern(props: &Props) -> Result<TenancyPattern, CliError> {
+    match props.get("tenancy_pattern").unwrap_or("a") {
+        p if p.eq_ignore_ascii_case("a") => Ok(TenancyPattern::HighContention),
+        p if p.eq_ignore_ascii_case("b") => Ok(TenancyPattern::LowContention),
+        p if p.eq_ignore_ascii_case("c") => Ok(TenancyPattern::StaggeredHigh),
+        p if p.eq_ignore_ascii_case("d") => Ok(TenancyPattern::StaggeredLow),
+        other => Err(CliError::Unknown {
+            key: "tenancy_pattern",
+            value: other.to_string(),
+            expected: "a, b, c, d",
+        }),
+    }
+}
+
+/// Run the evaluation described by `props` and return the printed report.
+pub fn run_from_props(props: &Props) -> Result<String, CliError> {
+    let profile = parse_sut(props)?;
+    let sim_scale = props.get_u64("sim_scale", 200)?;
+    let seed = props.get_u64("seed", 7)?;
+    let mode = props.get("mode").unwrap_or("oltp").to_ascii_lowercase();
+    let mut out = String::new();
+    match mode.as_str() {
+        "oltp" => {
+            let sf = props.get_u64("scale_factor", 1)?;
+            let con = props.get_u64("concurrency", 100)? as u32;
+            let secs = props.get_u64("duration_secs", 30)?;
+            let mix = parse_mix(props)?;
+            let dist = parse_distribution(props)?;
+            let ro = props.get_u64("ro_nodes", 1)? as usize;
+            let mut dep = Deployment::new(profile.clone(), sf, sim_scale, ro, seed);
+            let duration = SimDuration::from_secs(secs);
+            let spec = TenantSpec::constant(
+                con,
+                duration,
+                mix,
+                dist,
+                KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+            );
+            let opts = RunOptions {
+                seed,
+                vcores: VcoreControl::Fixed,
+                ..RunOptions::default()
+            };
+            let result = run(&mut dep, &[spec], &opts);
+            let end = SimTime::ZERO + duration;
+            let usage = dep.usage(SimTime::ZERO, end);
+            // Unit prices are calibratable from the same props file.
+            let rates = RucRates::from_props(props)?;
+            let cost = ruc_cost(&usage, &rates);
+            let mut t = Table::new(
+                &format!("OLTP — {} SF{sf} {} con={con}", profile.display, mix.label()),
+                &["Metric", "Value"],
+            );
+            t.row(&["avg TPS".into(), fnum(result.avg_tps(SimTime::ZERO, end))]);
+            t.row(&["committed".into(), format!("{}", result.tenants[0].committed)]);
+            t.row(&["avg latency".into(), format!("{}", result.tenants[0].avg_latency())]);
+            t.row(&["lock conflicts".into(), format!("{}", result.lock_conflicts)]);
+            t.row(&["RUC cost".into(), fmoney(cost.total())]);
+            out.push_str(&t.to_string());
+        }
+        "elasticity" => {
+            let tau = props.get_u64("tau", 110)? as u32;
+            let mix = parse_mix(props)?;
+            // Either a named pattern or an explicit schedule from *_con keys.
+            if props.get("first_con").is_some() {
+                let sched = ElasticScheduleConfig::from_props(props)?;
+                let mut dep = Deployment::new(profile.clone(), 1, sim_scale, 0, seed);
+                let spec = TenantSpec {
+                    slots: sched.slots.clone(),
+                    slot_len: SimDuration::from_secs(sched.slot_seconds),
+                    mix,
+                    dist: AccessDistribution::Uniform,
+                    partition: KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+                };
+                let result = run(&mut dep, &[spec], &RunOptions { seed, ..RunOptions::default() });
+                let mut t = Table::new(
+                    &format!("Elasticity (custom schedule) — {}", profile.display),
+                    &["Metric", "Value"],
+                );
+                t.row(&["schedule".into(), format!("{:?}", sched.slots)]);
+                t.row(&["avg TPS".into(), fnum(result.overall_tps())]);
+                out.push_str(&t.to_string());
+            } else {
+                let pattern = parse_elastic_pattern(props)?;
+                let r = evaluate_elasticity(&profile, pattern, mix, tau, sim_scale, seed);
+                let mut t = Table::new(
+                    &format!("Elasticity — {} / {}", profile.display, pattern.label()),
+                    &["Metric", "Value"],
+                );
+                t.row(&["avg TPS".into(), fnum(r.avg_tps)]);
+                t.row(&["10-min cost".into(), fmoney(r.cost.total())]);
+                t.row(&["E1-Score".into(), fnum(r.e1)]);
+                out.push_str(&t.to_string());
+            }
+        }
+        "tenancy" => {
+            let pattern = parse_tenancy_pattern(props)?;
+            let scale = props.get_f64("tenancy_scale", 0.5)?;
+            let r = evaluate_tenancy(&profile, pattern, scale, sim_scale, seed);
+            let mut t = Table::new(
+                &format!("Multi-tenancy — {} / {}", profile.display, pattern.label()),
+                &["Metric", "Value"],
+            );
+            for (i, tps) in r.tenant_tps.iter().enumerate() {
+                t.row(&[format!("tenant {} TPS", i + 1), fnum(*tps)]);
+            }
+            t.row(&["total TPS".into(), fnum(r.total_tps)]);
+            t.row(&["cost".into(), fmoney(r.cost.total())]);
+            t.row(&["T-Score".into(), fnum(r.t_score)]);
+            out.push_str(&t.to_string());
+        }
+        "failover" => {
+            let con = props.get_u64("concurrency", 100)? as u32;
+            let r = evaluate_failover(&profile, con, sim_scale, seed);
+            let mut t = Table::new(
+                &format!("Fail-over — {}", profile.display),
+                &["Target", "F", "R"],
+            );
+            t.row(&["RW".into(), fsecs(r.rw.f_secs), fsecs(r.rw.r_secs)]);
+            t.row(&["RO".into(), fsecs(r.ro.f_secs), fsecs(r.ro.r_secs)]);
+            out.push_str(&t.to_string());
+        }
+        "lagtime" => {
+            let con = props.get_u64("concurrency", 30)? as u32;
+            let replicas = props.get_u64("replicas", 1)? as usize;
+            let r = evaluate_lagtime_with_replicas(&profile, con, replicas.max(1), sim_scale, seed);
+            let mut t = Table::new(
+                &format!("Replication lag — {}", profile.display),
+                &["Mix", "Insert ms", "Update ms", "Delete ms"],
+            );
+            for row in &r.rows {
+                t.row(&[
+                    row.label.to_string(),
+                    fnum(row.insert_ms),
+                    fnum(row.update_ms),
+                    fnum(row.delete_ms),
+                ]);
+            }
+            t.row(&["C-Score".into(), fnum(r.c_score_ms), String::new(), String::new()]);
+            out.push_str(&t.to_string());
+        }
+        other => {
+            return Err(CliError::Unknown {
+                key: "mode",
+                value: other.to_string(),
+                expected: "oltp, elasticity, tenancy, failover, lagtime",
+            })
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn go(text: &str) -> String {
+        let props = Props::parse(text).expect("props parse");
+        run_from_props(&props).expect("run succeeds")
+    }
+
+    #[test]
+    fn oltp_mode_runs() {
+        let report = go("sut = aws-rds\nmode = oltp\nsim_scale = 2000\nconcurrency = 10\nduration_secs = 3");
+        assert!(report.contains("avg TPS"), "{report}");
+        assert!(report.contains("RUC cost"));
+    }
+
+    #[test]
+    fn custom_mix_and_distribution() {
+        let report = go(
+            "sut = cdb4\nmode = oltp\nsim_scale = 2000\nconcurrency = 10\nduration_secs = 3\nmix = 50:0:50:0\ndistribution = latest-10",
+        );
+        assert!(report.contains("OLTP"));
+    }
+
+    #[test]
+    fn elasticity_custom_schedule_via_props() {
+        let report = go(
+            "sut = cdb3\nmode = elasticity\nsim_scale = 2000\nelastic_testTime = 4\nfirst_con = 5\nsecond_con = 20\nthird_con = 5\nfourth_con = 0\nslot_seconds = 10",
+        );
+        assert!(report.contains("custom schedule"), "{report}");
+        assert!(report.contains("[5, 20, 5, 0]"));
+    }
+
+    #[test]
+    fn named_pattern_elasticity() {
+        let report =
+            go("sut = cdb2\nmode = elasticity\nsim_scale = 2000\ntau = 20\npattern = zero-valley");
+        assert!(report.contains("Zero Valley"));
+        assert!(report.contains("E1-Score"));
+    }
+
+    #[test]
+    fn tenancy_and_failover_and_lag_modes() {
+        let t = go("sut = cdb2\nmode = tenancy\nsim_scale = 2000\ntenancy_pattern = d\ntenancy_scale = 0.3");
+        assert!(t.contains("T-Score"));
+        let f = go("sut = cdb4\nmode = failover\nsim_scale = 2000\nconcurrency = 20");
+        assert!(f.contains("RW"));
+        let l = go("sut = cdb1\nmode = lagtime\nsim_scale = 2000\nconcurrency = 10");
+        assert!(l.contains("C-Score"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let props = Props::parse("sut = oracle").unwrap();
+        let e = run_from_props(&props).unwrap_err();
+        assert!(e.to_string().contains("oracle"));
+        let props = Props::parse("mode = nonsense").unwrap();
+        let e = run_from_props(&props).unwrap_err();
+        assert!(e.to_string().contains("nonsense"));
+        let props = Props::parse("mix = 1:2").unwrap();
+        let e = run_from_props(&props).unwrap_err();
+        assert!(e.to_string().contains("mix"));
+    }
+}

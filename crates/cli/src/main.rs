@@ -1,0 +1,60 @@
+//! The `cloudybench` command line: run an evaluation described by a props
+//! file.
+//!
+//! ```text
+//! cloudybench path/to/run.props
+//! echo "sut = cdb3
+//! mode = elasticity
+//! pattern = zero-valley" | cloudybench -
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use cloudybench::config::Props;
+use cloudybench_cli::run_from_props;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: cloudybench <props-file | - >");
+        eprintln!();
+        eprintln!("keys: sut (aws-rds|cdb1..cdb4), mode (oltp|elasticity|tenancy|failover|lagtime),");
+        eprintln!("      scale_factor, sim_scale, seed, concurrency, duration_secs,");
+        eprintln!("      mix (ro|rw|wo|t1:t2:t3:t4), distribution (uniform|latest-N),");
+        eprintln!("      pattern, tau, elastic_testTime + first_con.., tenancy_pattern, tenancy_scale");
+        return ExitCode::FAILURE;
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("cloudybench: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cloudybench: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let props = match Props::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cloudybench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_from_props(&props) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cloudybench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # cb-cluster — cloud-native database cluster substrate
+//!
+//! The components that turn the `cb-engine` storage engine into a simulated
+//! cloud-native database cluster:
+//!
+//! * [`node`] — compute nodes (CPU + buffer pool + lifecycle: restart,
+//!   pause/resume, warm-up ramps).
+//! * [`replication`] — log shipping with sequential / parallel / on-demand
+//!   replay (the replication-lag story).
+//! * [`autoscale`] — fixed, on-demand, gradual-down, and quantized
+//!   pause/resume scaling policies.
+//! * [`heartbeat`] — heartbeat-based failure detection (the mechanism
+//!   behind each profile's detection delay).
+//! * [`failover`] — fail-over planning: ARIES vs replay-from-storage vs
+//!   remote-buffer switch-over.
+//! * [`tenancy`] — isolated instances, elastic pools (water-filling
+//!   scheduler), git-style branches.
+//! * [`metering`] — integrate vCores/memory/storage/IOPS/network consumption
+//!   for the Resource Unit Cost model.
+
+#![warn(missing_docs)]
+
+pub mod autoscale;
+pub mod failover;
+pub mod heartbeat;
+pub mod metering;
+pub mod node;
+pub mod replication;
+pub mod tenancy;
+
+pub use autoscale::{
+    FixedCapacity, GradualDownScaler, OnDemandScaler, QuantScaler, ScaleDecision, ScaleSample,
+    ScalingPolicy,
+};
+pub use failover::{plan_failover, plan_ro_failover, FailoverModel, FailoverPhase, FailoverTimeline, RecoveryKind};
+pub use heartbeat::{HeartbeatMonitor, NodeHealth};
+pub use metering::{measure, MeterConfig, ResourceUsage};
+pub use node::{Node, NodeId, NodeRole, NodeStatus};
+pub use replication::{ReplayPolicy, ReplicationStream};
+pub use tenancy::{elastic_pool_allocate, TenancyModel};

@@ -1,0 +1,71 @@
+//! Property tests for the cluster substrate: the elastic pool scheduler and
+//! the replication stream.
+
+use cb_cluster::{elastic_pool_allocate, ReplayPolicy, ReplicationStream};
+use cb_sim::{SimDuration, SimTime};
+use cb_store::Lsn;
+use proptest::prelude::*;
+
+proptest! {
+    /// The pool never over-allocates, never exceeds any tenant's demand,
+    /// and gives idle tenants nothing.
+    #[test]
+    fn pool_allocation_invariants(
+        demands in prop::collection::vec(0.0f64..20.0, 1..8),
+        total in 0.5f64..32.0,
+        min_share in 0.0f64..2.0,
+    ) {
+        let alloc = elastic_pool_allocate(&demands, total, min_share);
+        prop_assert_eq!(alloc.len(), demands.len());
+        let sum: f64 = alloc.iter().sum();
+        prop_assert!(sum <= total + 1e-6, "over-allocated: {sum} > {total}");
+        for (a, d) in alloc.iter().zip(&demands) {
+            prop_assert!(*a >= -1e-12);
+            prop_assert!(*a <= d + 1e-6, "alloc {a} exceeds demand {d}");
+            if *d == 0.0 {
+                prop_assert_eq!(*a, 0.0);
+            }
+        }
+        // Work-conserving: if total demand exceeds the pool, the pool is
+        // (nearly) fully used.
+        let want: f64 = demands.iter().sum();
+        if want >= total {
+            prop_assert!(sum > total - 1e-6, "pool left idle: {sum} < {total}");
+        }
+    }
+
+    /// Replication visibility instants are monotone in commit order and
+    /// never precede commit + ship latency.
+    #[test]
+    fn replication_monotone(
+        batches in prop::collection::vec((1u64..50, 0u64..1000), 1..60),
+        seq in prop::bool::ANY,
+    ) {
+        let policy = if seq {
+            ReplayPolicy::Sequential {
+                per_record: SimDuration::from_micros(500),
+                batch_interval: SimDuration::from_millis(50),
+            }
+        } else {
+            ReplayPolicy::Parallel {
+                per_record: SimDuration::from_micros(500),
+                lanes: 4,
+                batch_interval: SimDuration::from_millis(50),
+            }
+        };
+        let ship = SimDuration::from_millis(2);
+        let mut stream = ReplicationStream::new(ship, policy);
+        let mut t = SimTime::ZERO;
+        let mut lsn = 0u64;
+        let mut last_applied = SimTime::ZERO;
+        for (records, gap_ms) in batches {
+            t += SimDuration::from_millis(gap_ms);
+            lsn += records;
+            let applied = stream.on_commit(Lsn(lsn), t, records);
+            prop_assert!(applied >= t + ship, "visibility before arrival");
+            prop_assert!(applied >= last_applied, "visibility must be monotone");
+            last_applied = applied;
+        }
+        prop_assert_eq!(stream.applied().0, Lsn(lsn));
+    }
+}

@@ -1,0 +1,1078 @@
+//! The virtual-time workload driver.
+//!
+//! A closed-loop client population executes the CloudyBench transactions
+//! against a [`Deployment`] on the virtual clock: every transaction runs
+//! *logically for real* in the engine while its simulated duration comes
+//! from CPU reservation on the executing node, accumulated I/O waits, lock
+//! waits (virtual-time 2PL), node availability (restarts, pause/resume) and
+//! a fixed client round trip. Controllers — autoscaler sampling, elastic
+//! pool rebalancing, checkpoints, failure injection, GC — run as events on
+//! the same clock.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cb_cluster::{plan_failover, plan_ro_failover, FailoverTimeline, ScaleSample, ScalingPolicy};
+use cb_engine::exec::RemoteTier;
+use cb_engine::recovery::analyze;
+use cb_engine::sql::{execute, BoundStmt};
+use cb_engine::{ExecCtx, Value};
+use cb_sim::{DetRng, EventQueue, Reservoir, SimDuration, SimTime, TpsRecorder};
+use cb_store::Lsn;
+
+use crate::deploy::Deployment;
+use crate::workload::{AccessDistribution, KeyPartition, TxnKind, TxnMix};
+
+/// Client-to-server round trip inside one VPC, paid once per *statement* —
+/// the paper's driver, like any JDBC client, ships each statement of a
+/// transaction separately, which is what makes TPS climb with concurrency
+/// until the server saturates (Fig 5's shape).
+pub const CLIENT_RTT: SimDuration = SimDuration::from_micros(1200);
+
+/// One tenant's offered load: a concurrency schedule plus workload shape.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Concurrency per time slot (the paper varies this per minute).
+    pub slots: Vec<u32>,
+    /// Length of one slot.
+    pub slot_len: SimDuration,
+    /// Transaction mix.
+    pub mix: TxnMix,
+    /// Access distribution.
+    pub dist: AccessDistribution,
+    /// Key-space slice this tenant works on.
+    pub partition: KeyPartition,
+}
+
+impl TenantSpec {
+    /// A constant-concurrency tenant over `duration`.
+    pub fn constant(
+        concurrency: u32,
+        duration: SimDuration,
+        mix: TxnMix,
+        dist: AccessDistribution,
+        partition: KeyPartition,
+    ) -> Self {
+        TenantSpec {
+            slots: vec![concurrency],
+            slot_len: duration,
+            mix,
+            dist,
+            partition,
+        }
+    }
+
+    /// Total schedule length.
+    pub fn duration(&self) -> SimDuration {
+        self.slot_len * self.slots.len() as u64
+    }
+
+    /// Concurrency at `t` (0 beyond the schedule).
+    pub fn concurrency_at(&self, t: SimTime) -> u32 {
+        let idx = (t.as_nanos() / self.slot_len.as_nanos()) as usize;
+        self.slots.get(idx).copied().unwrap_or(0)
+    }
+
+    /// The earliest instant at or after `t` when client `idx` is active,
+    /// if any.
+    pub fn next_activation(&self, t: SimTime, idx: u32) -> Option<SimTime> {
+        let mut slot = (t.as_nanos() / self.slot_len.as_nanos()) as usize;
+        if slot >= self.slots.len() {
+            return None;
+        }
+        if self.slots[slot] > idx {
+            return Some(t);
+        }
+        slot += 1;
+        while slot < self.slots.len() {
+            if self.slots[slot] > idx {
+                return Some(SimTime::ZERO + self.slot_len * slot as u64);
+            }
+            slot += 1;
+        }
+        None
+    }
+
+    /// Peak concurrency (client population size).
+    pub fn max_concurrency(&self) -> u32 {
+        self.slots.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// How tenants map onto compute nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeMapping {
+    /// All tenants share node 0 (RW); read-only transactions fan out over
+    /// the RO replicas.
+    RwWithRo,
+    /// Tenant `i` runs on node `i` (elastic pool / branches).
+    PerTenant,
+}
+
+/// How vCores are controlled during the run.
+pub enum VcoreControl {
+    /// Each node runs the SUT's own scaling policy (fixed tiers no-op).
+    PolicyPerNode,
+    /// An elastic pool reallocates a shared vCore budget across per-tenant
+    /// nodes (CDB2 multi-tenancy).
+    ElasticPool {
+        /// Total vCores in the pool.
+        total: f64,
+        /// Guaranteed minimum per active tenant.
+        min_share: f64,
+        /// Rebalance period.
+        interval: SimDuration,
+    },
+    /// Leave allocations exactly as deployed.
+    Fixed,
+}
+
+/// A failure injection plan (the paper's restart model).
+#[derive(Clone, Copy, Debug)]
+pub struct FailurePlan {
+    /// When to inject.
+    pub at: SimTime,
+    /// Target an RO node instead of the RW primary.
+    pub target_ro: bool,
+}
+
+/// Options for one run.
+pub struct RunOptions {
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Tenant-to-node mapping.
+    pub mapping: NodeMapping,
+    /// vCore control mode.
+    pub vcores: VcoreControl,
+    /// Collect replication-lag samples.
+    pub collect_lag: bool,
+    /// Optional failure injection.
+    pub failure: Option<FailurePlan>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 7,
+            mapping: NodeMapping::RwWithRo,
+            vcores: VcoreControl::PolicyPerNode,
+            collect_lag: false,
+            failure: None,
+        }
+    }
+}
+
+/// Per-tenant results.
+pub struct TenantResult {
+    /// Committed transactions per second-slot.
+    pub tps: TpsRecorder,
+    /// Total committed transactions.
+    pub committed: u64,
+    /// Sum of transaction latencies.
+    pub latency_sum: SimDuration,
+    /// Largest single latency.
+    pub latency_max: SimDuration,
+    /// Latency reservoir for percentile estimates.
+    pub latency_samples: Reservoir,
+}
+
+impl TenantResult {
+    fn new() -> Self {
+        TenantResult {
+            tps: TpsRecorder::per_second(),
+            committed: 0,
+            latency_sum: SimDuration::ZERO,
+            latency_max: SimDuration::ZERO,
+            latency_samples: Reservoir::new(4096),
+        }
+    }
+
+    /// Mean latency.
+    pub fn avg_latency(&self) -> SimDuration {
+        if self.committed == 0 {
+            SimDuration::ZERO
+        } else {
+            self.latency_sum / self.committed
+        }
+    }
+
+    /// Average TPS over a window.
+    pub fn avg_tps(&self, from: SimTime, to: SimTime) -> f64 {
+        self.tps.avg_rate(from, to)
+    }
+
+    /// Estimated latency percentile in milliseconds.
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        self.latency_samples.percentile(p)
+    }
+}
+
+/// Replication-lag samples by DML class.
+#[derive(Default)]
+pub struct LagSamples {
+    /// T1 (insert) lags.
+    pub insert: Vec<SimDuration>,
+    /// T2 (update) lags.
+    pub update: Vec<SimDuration>,
+    /// T4 (delete) lags.
+    pub delete: Vec<SimDuration>,
+}
+
+impl LagSamples {
+    const CAP: usize = 20_000;
+
+    fn push(&mut self, kind: TxnKind, lag: SimDuration) {
+        let bucket = match kind {
+            TxnKind::NewOrderline => &mut self.insert,
+            TxnKind::OrderPayment => &mut self.update,
+            TxnKind::OrderlineDeletion => &mut self.delete,
+            TxnKind::OrderStatus => return,
+        };
+        if bucket.len() < Self::CAP {
+            bucket.push(lag);
+        }
+    }
+
+    /// Mean of a sample set in milliseconds.
+    pub fn mean_ms(samples: &[SimDuration]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.iter().map(|d| d.as_millis_f64()).sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// The result of one driven run.
+pub struct RunResult {
+    /// End of the schedule (virtual).
+    pub horizon: SimTime,
+    /// Per-tenant results.
+    pub tenants: Vec<TenantResult>,
+    /// Cluster-wide committed TPS.
+    pub total: TpsRecorder,
+    /// Replication-lag samples (if collected).
+    pub lag: LagSamples,
+    /// Fail-over timeline (if a failure was injected).
+    pub failover: Option<FailoverTimeline>,
+    /// Lock conflicts observed.
+    pub lock_conflicts: u64,
+}
+
+impl RunResult {
+    /// Cluster-wide average TPS over `[from, to)`.
+    pub fn avg_tps(&self, from: SimTime, to: SimTime) -> f64 {
+        self.total.avg_rate(from, to)
+    }
+
+    /// Cluster-wide average TPS over the whole horizon.
+    pub fn overall_tps(&self) -> f64 {
+        self.avg_tps(SimTime::ZERO, self.horizon)
+    }
+}
+
+enum Event {
+    Sample { node: usize },
+    Apply { node: usize, target: f64 },
+    Checkpoint,
+    Rebalance,
+    Inject,
+    Gc,
+}
+
+struct Client {
+    tenant: usize,
+    idx: u32,
+    ready: SimTime,
+    /// When the current transaction attempt began (for latency accounting).
+    pending_since: Option<SimTime>,
+    rng: DetRng,
+}
+
+/// Drive `tenants` against `dep`. The run ends when every tenant's schedule
+/// is exhausted.
+pub fn run(dep: &mut Deployment, tenants: &[TenantSpec], opts: &RunOptions) -> RunResult {
+    assert!(!tenants.is_empty(), "at least one tenant required");
+    let horizon_d: SimDuration = tenants
+        .iter()
+        .map(TenantSpec::duration)
+        .max()
+        .expect("non-empty");
+    let horizon = SimTime::ZERO + horizon_d;
+    if opts.mapping == NodeMapping::PerTenant {
+        assert!(
+            dep.nodes.len() >= tenants.len(),
+            "PerTenant mapping needs one node per tenant"
+        );
+    }
+
+    let mut root_rng = DetRng::seeded(opts.seed);
+    let mut clients: Vec<Client> = Vec::new();
+    for (t, spec) in tenants.iter().enumerate() {
+        for idx in 0..spec.max_concurrency() {
+            let ready = spec.next_activation(SimTime::ZERO, idx);
+            clients.push(Client {
+                tenant: t,
+                idx,
+                ready: ready.unwrap_or(SimTime::MAX),
+                pending_since: None,
+                rng: root_rng.fork((t as u64) << 32 | u64::from(idx)),
+            });
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = clients
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.ready < SimTime::MAX)
+        .map(|(i, c)| Reverse((c.ready, i)))
+        .collect();
+
+    // Controllers.
+    let mut events: EventQueue<Event> = EventQueue::new();
+    let mut policies: Vec<Option<Box<dyn ScalingPolicy>>> =
+        (0..dep.nodes.len()).map(|_| None).collect();
+    match &opts.vcores {
+        VcoreControl::PolicyPerNode => {
+            // Every compute node scales independently (serverless replicas
+            // autoscale too — read-only load lands on them).
+            let scaled_nodes: Vec<usize> = match opts.mapping {
+                NodeMapping::RwWithRo => (0..dep.nodes.len()).collect(),
+                NodeMapping::PerTenant => (0..tenants.len()).collect(),
+            };
+            if dep.profile.serverless {
+                for n in scaled_nodes {
+                    let p = dep.profile.scaling_policy();
+                    // Serverless tiers start at their minimum allocation.
+                    dep.nodes[n].set_vcores(SimTime::ZERO, dep.profile.min_vcores);
+                    events.schedule(SimTime::ZERO + p.sample_interval(), Event::Sample { node: n });
+                    policies[n] = Some(p);
+                }
+            }
+        }
+        VcoreControl::ElasticPool { interval, .. } => {
+            events.schedule(SimTime::ZERO + *interval, Event::Rebalance);
+        }
+        VcoreControl::Fixed => {}
+    }
+    if let Some(interval) = dep.profile.checkpoint_interval {
+        events.schedule(SimTime::ZERO + interval, Event::Checkpoint);
+    }
+    if let Some(plan) = opts.failure {
+        events.schedule(plan.at, Event::Inject);
+    }
+    let gc_interval = SimDuration::from_secs(10);
+    events.schedule(SimTime::ZERO + gc_interval, Event::Gc);
+
+    // Measurement state.
+    let mut result = RunResult {
+        horizon,
+        tenants: tenants.iter().map(|_| TenantResult::new()).collect(),
+        total: TpsRecorder::per_second(),
+        lag: LagSamples::default(),
+        failover: None,
+        lock_conflicts: 0,
+    };
+    let mut busy_snap: Vec<f64> = dep.nodes.iter().map(|n| n.cpu.busy_core_secs()).collect();
+    let mut snap_time: Vec<SimTime> = vec![SimTime::ZERO; dep.nodes.len()];
+    let mut rebalance_busy: Vec<f64> = busy_snap.clone();
+    let mut prev_checkpoint = Lsn::ZERO;
+    let mut ro_rr: usize = 0;
+
+    loop {
+        let t_event = events.peek_time().filter(|t| *t < horizon);
+        let t_client = heap.peek().map(|Reverse((t, _))| *t).filter(|t| *t < horizon);
+        match (t_event, t_client) {
+            (None, None) => break,
+            (Some(te), tc) if tc.is_none_or(|tc| te <= tc) => {
+                let (now, ev) = events.pop().expect("peeked");
+                handle_event(
+                    dep,
+                    tenants,
+                    opts,
+                    &mut events,
+                    &mut policies,
+                    &mut busy_snap,
+                    &mut snap_time,
+                    &mut rebalance_busy,
+                    &mut prev_checkpoint,
+                    &mut result,
+                    now,
+                    ev,
+                    horizon,
+                );
+            }
+            _ => {
+                let Reverse((t, ci)) = heap.pop().expect("client time was peeked");
+                if clients[ci].ready != t {
+                    continue; // stale heap entry
+                }
+                step_client(
+                    dep,
+                    tenants,
+                    opts,
+                    &mut clients[ci],
+                    &mut result,
+                    &mut ro_rr,
+                    horizon,
+                );
+                let ready = clients[ci].ready;
+                if ready < SimTime::MAX && ready < horizon {
+                    heap.push(Reverse((ready, ci)));
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Execute one client step: either advance its ready time (inactive slot,
+/// node wait, lock wait) or run a full transaction.
+fn step_client(
+    dep: &mut Deployment,
+    tenants: &[TenantSpec],
+    opts: &RunOptions,
+    c: &mut Client,
+    result: &mut RunResult,
+    ro_rr: &mut usize,
+    horizon: SimTime,
+) {
+    let t = c.ready;
+    let spec = &tenants[c.tenant];
+    // Active in this slot?
+    match spec.next_activation(t, c.idx) {
+        None => {
+            c.ready = SimTime::MAX;
+            c.pending_since = None;
+            return;
+        }
+        Some(at) if at > t => {
+            c.ready = at;
+            c.pending_since = None;
+            return;
+        }
+        Some(_) => {}
+    }
+    let arrival = *c.pending_since.get_or_insert(t);
+
+    // Pick the transaction and its node.
+    let kind = spec.mix.pick(&mut c.rng);
+    let node_idx = match opts.mapping {
+        NodeMapping::PerTenant => c.tenant,
+        NodeMapping::RwWithRo => {
+            if kind.is_read_only() && dep.ro_count() > 0 {
+                // Read-only transactions balance across *all* available
+                // nodes — the primary serves reads too (otherwise adding
+                // the first replica would not change throughput at all).
+                let n = dep.nodes.len();
+                let mut chosen = None;
+                for k in 0..n {
+                    let cand = (*ro_rr + k) % n;
+                    if dep.nodes[cand].is_available(t) {
+                        chosen = Some(cand);
+                        *ro_rr = (cand + 1) % n;
+                        break;
+                    }
+                }
+                chosen.unwrap_or(0)
+            } else {
+                0
+            }
+        }
+    };
+
+    // Node availability gates.
+    match dep.nodes[node_idx].available_at(t) {
+        Some(at) if at > t => {
+            c.ready = at;
+            return;
+        }
+        Some(_) => {
+            dep.nodes[node_idx].refresh_status(t);
+        }
+        None => {
+            // Paused: demand arrival triggers resume.
+            let delay = dep
+                .profile
+                .scaling_policy()
+                .resume_delay();
+            dep.nodes[node_idx].resume(t, dep.profile.min_vcores.max(0.25), delay);
+            c.ready = t + delay;
+            return;
+        }
+    }
+    // A restart can race with a pause (failure injected on a paused node):
+    // the node reports available but its CPU is still at zero. Resume it.
+    if dep.nodes[node_idx].cpu.is_paused() {
+        let delay = dep.profile.scaling_policy().resume_delay();
+        dep.nodes[node_idx].resume(t, dep.profile.min_vcores.max(0.25), delay);
+        c.ready = t + delay;
+        return;
+    }
+
+    // Generate parameters.
+    let p = spec.partition;
+    let now_ts = t.as_nanos() as i64 / 1_000;
+    let orderline_hwm = dep.db.table(dep.tables.orderline).next_auto_key() - 1;
+    let (wait_keys, o_id, ol_id): (Vec<(cb_store::TableId, i64)>, i64, i64) = match kind {
+        TxnKind::NewOrderline => {
+            let o = spec.dist.pick_order(&mut c.rng, p.orders_lo, p.orders_hi);
+            (vec![], o, 0)
+        }
+        TxnKind::OrderPayment => {
+            let o = spec.dist.pick_order(&mut c.rng, p.orders_lo, p.orders_hi);
+            (vec![(dep.tables.orders, o)], o, 0)
+        }
+        TxnKind::OrderStatus => {
+            let o = spec.dist.pick_order(&mut c.rng, p.orders_lo, p.orders_hi);
+            (vec![], o, 0)
+        }
+        TxnKind::OrderlineDeletion => {
+            let ol = c.rng.range_inclusive(1, orderline_hwm.max(1));
+            (vec![(dep.tables.orderline, ol)], 0, ol)
+        }
+    };
+
+    // Virtual-time 2PL: wait for conflicting writers.
+    if !wait_keys.is_empty() {
+        if let Some(until) = dep.db.locks_mut().conflict_until(&wait_keys, t) {
+            result.lock_conflicts += 1;
+            c.ready = until;
+            return;
+        }
+    }
+
+    // Execute logically, accumulating simulated cost.
+    let Deployment {
+        profile,
+        db,
+        storage,
+        nodes,
+        streams,
+        remote_pool,
+        registry,
+        ..
+    } = dep;
+    let node = &mut nodes[node_idx];
+    let remote = remote_pool
+        .as_mut()
+        .map(|pool| RemoteTier { pool });
+    let mut ctx = ExecCtx::new(t, &mut node.pool, remote, storage, &profile.cost_model);
+    let mut txn = db.begin();
+    let stmt = |name: &str| -> &BoundStmt { registry.get(name).expect("registered") };
+    match kind {
+        TxnKind::NewOrderline => {
+            let params = [
+                Value::Int(o_id),
+                Value::Int(c.rng.range_inclusive(1, 100_000)),
+                Value::Int(c.rng.range_inclusive(1, 10)),
+                Value::Int(c.rng.range_inclusive(100, 50_000)),
+            ];
+            execute(db, &mut ctx, &mut txn, stmt("t1_new_orderline"), &params)
+                .expect("t1 must execute");
+        }
+        TxnKind::OrderPayment => {
+            let out = execute(
+                db,
+                &mut ctx,
+                &mut txn,
+                stmt("t2_select_order"),
+                &[Value::Int(o_id)],
+            )
+            .expect("t2 select must execute");
+            if let Some(row) = out.rows.first() {
+                let c_id = row[1].expect_int();
+                execute(
+                    db,
+                    &mut ctx,
+                    &mut txn,
+                    stmt("t2_pay_order"),
+                    &[Value::Timestamp(now_ts), Value::Int(o_id)],
+                )
+                .expect("t2 pay must execute");
+                execute(
+                    db,
+                    &mut ctx,
+                    &mut txn,
+                    stmt("t2_credit_customer"),
+                    &[
+                        Value::Int(c.rng.range_inclusive(1, 10_000)),
+                        Value::Timestamp(now_ts),
+                        Value::Int(c_id),
+                    ],
+                )
+                .expect("t2 credit must execute");
+            }
+        }
+        TxnKind::OrderStatus => {
+            execute(
+                db,
+                &mut ctx,
+                &mut txn,
+                stmt("t3_order_status"),
+                &[Value::Int(o_id)],
+            )
+            .expect("t3 must execute");
+        }
+        TxnKind::OrderlineDeletion => {
+            execute(
+                db,
+                &mut ctx,
+                &mut txn,
+                stmt("t4_delete_orderline"),
+                &[Value::Int(ol_id)],
+            )
+            .expect("t4 must execute");
+        }
+    }
+    let committed = db.commit(&mut ctx, txn);
+    let cpu_demand = ctx.cpu;
+    let io_wait = ctx.io;
+    let stmt_count = ctx.stats.statements;
+
+    // Timing: CPU reservation (including post-restart warm-up work: cache
+    // re-population, connection re-establishment — which is what actually
+    // suppresses throughput during the R-Score window), then I/O, then the
+    // client round trip.
+    let warmup = node.warmup_penalty(t, profile.failover.warmup_peak);
+    let slot = node.cpu.reserve(t, cpu_demand + warmup);
+    let end = slot.end + io_wait + CLIENT_RTT * stmt_count.max(1);
+
+    // Register write locks until the commit instant.
+    if !committed.writes.is_empty() {
+        db.locks_mut().register(&committed.writes, end);
+        // Ship to replicas.
+        let dml = committed.writes.len() as u64;
+        for (ri, stream) in streams.iter_mut().enumerate() {
+            let applied = stream.on_commit(committed.lsn, end, dml);
+            if opts.collect_lag && ri == 0 {
+                result.lag.push(kind, applied.saturating_since(end));
+            }
+        }
+    }
+
+    // Record.
+    if end <= horizon {
+        result.tenants[c.tenant].tps.record(end);
+        result.total.record(end);
+        let tr = &mut result.tenants[c.tenant];
+        tr.committed += 1;
+        let lat = end.saturating_since(arrival);
+        tr.latency_sum += lat;
+        tr.latency_max = tr.latency_max.max(lat);
+        tr.latency_samples.offer(lat.as_millis_f64());
+    }
+    c.pending_since = None;
+    c.ready = end;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_event(
+    dep: &mut Deployment,
+    tenants: &[TenantSpec],
+    opts: &RunOptions,
+    events: &mut EventQueue<Event>,
+    policies: &mut [Option<Box<dyn ScalingPolicy>>],
+    busy_snap: &mut [f64],
+    snap_time: &mut [SimTime],
+    rebalance_busy: &mut [f64],
+    prev_checkpoint: &mut Lsn,
+    result: &mut RunResult,
+    now: SimTime,
+    ev: Event,
+    horizon: SimTime,
+) {
+    match ev {
+        Event::Sample { node } => {
+            let Some(policy) = policies[node].as_mut() else {
+                return;
+            };
+            let n = &dep.nodes[node];
+            let busy = n.cpu.busy_core_secs();
+            let vcore_secs = n.vcore_gauge.integral(snap_time[node], now);
+            let util = if vcore_secs > 1e-9 {
+                ((busy - busy_snap[node]) / vcore_secs).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            busy_snap[node] = busy;
+            snap_time[node] = now;
+            let offered = match opts.mapping {
+                NodeMapping::RwWithRo => tenants.iter().any(|s| s.concurrency_at(now) > 0),
+                NodeMapping::PerTenant => tenants
+                    .get(node)
+                    .is_some_and(|s| s.concurrency_at(now) > 0),
+            };
+            let sample = ScaleSample {
+                now,
+                util,
+                current: n.cpu.vcores(),
+                offered_load: offered,
+            };
+            if let Some(decision) = policy.decide(sample) {
+                if decision.effective_at < horizon {
+                    events.schedule(
+                        decision.effective_at,
+                        Event::Apply {
+                            node,
+                            target: decision.target_vcores,
+                        },
+                    );
+                }
+            }
+            let next = now + policy.sample_interval();
+            if next < horizon {
+                events.schedule(next, Event::Sample { node });
+            }
+        }
+        Event::Apply { node, target } => {
+            let n = &mut dep.nodes[node];
+            let scaled_up = target > n.cpu.vcores() + 1e-9;
+            n.set_vcores(now, target);
+            // Scaling-point disruption: the tier briefly refuses requests
+            // while it applies a *larger* allocation (the paper's CDB1
+            // pain; its gradual downward steps are transparent).
+            let disruption = dep.profile.scale_disruption;
+            if scaled_up && !disruption.is_zero() {
+                dep.nodes[node].restart(now, disruption, SimDuration::ZERO);
+            }
+        }
+        Event::Checkpoint => {
+            let Deployment {
+                db, nodes, storage, ..
+            } = dep;
+            let keep_from = *prev_checkpoint;
+            let (lsn, _flushed, _io) = db.checkpoint(&mut nodes[0].pool, storage, now);
+            // Retain one full checkpoint interval of log for recovery.
+            db.log_mut().truncate_through(keep_from);
+            *prev_checkpoint = lsn;
+            if let Some(interval) = dep.profile.checkpoint_interval {
+                let next = now + interval;
+                if next < horizon {
+                    events.schedule(next, Event::Checkpoint);
+                }
+            }
+        }
+        Event::Rebalance => {
+            let VcoreControl::ElasticPool {
+                total,
+                min_share,
+                interval,
+            } = &opts.vcores
+            else {
+                return;
+            };
+            let secs = interval.as_secs_f64();
+            let mut demands = Vec::with_capacity(tenants.len());
+            for (i, spec) in tenants.iter().enumerate() {
+                let busy = dep.nodes[i].cpu.busy_core_secs();
+                let used = (busy - rebalance_busy[i]) / secs;
+                rebalance_busy[i] = busy;
+                let con = spec.concurrency_at(now);
+                let demand = if con > 0 {
+                    // Ask for observed usage plus headroom, with a
+                    // concurrency-based floor: the pool hands the only busy
+                    // tenant generous capacity (the paper's staggered-
+                    // pattern behaviour), never below a quarter core.
+                    (used / 0.7).max(0.08 * f64::from(con)).max(0.25)
+                } else {
+                    0.0
+                };
+                demands.push(demand);
+            }
+            let alloc = cb_cluster::elastic_pool_allocate(&demands, *total, *min_share);
+            for (i, v) in alloc.iter().enumerate() {
+                let node = &mut dep.nodes[i];
+                if *v <= 0.0 {
+                    if !node.cpu.is_paused() {
+                        node.pause(now);
+                    }
+                } else if node.cpu.is_paused() {
+                    node.resume(now, *v, SimDuration::from_millis(500));
+                } else {
+                    node.set_vcores(now, *v);
+                }
+            }
+            let next = now + *interval;
+            if next < horizon {
+                events.schedule(next, Event::Rebalance);
+            }
+        }
+        Event::Inject => {
+            let plan = opts.failure.expect("Inject implies a plan");
+            let target = if plan.target_ro {
+                if dep.ro_count() == 0 {
+                    return;
+                }
+                1
+            } else {
+                0
+            };
+            // RO recovery does not redo/undo the primary's log tail.
+            let timeline = if plan.target_ro {
+                plan_ro_failover(&dep.profile.failover, now)
+            } else {
+                // The log may have been truncated past the last checkpoint
+                // on architectures that never checkpoint; analyze whatever
+                // tail is retained.
+                let from = dep
+                    .db
+                    .log()
+                    .oldest_retained()
+                    .map_or(dep.db.log().head(), |l| Lsn(l.0 - 1))
+                    .max(dep.db.last_checkpoint());
+                let analysis = analyze(dep.db.log(), from);
+                plan_failover(&dep.profile.failover, now, &analysis)
+            };
+            let downtime = timeline.downtime();
+            dep.nodes[target].restart(now, downtime, dep.profile.failover.warmup);
+            if plan.target_ro {
+                if let Some(stream) = dep.streams.get_mut(target - 1) {
+                    stream.reset(now + downtime);
+                }
+            }
+            result.failover = Some(timeline);
+        }
+        Event::Gc => {
+            dep.db.locks_mut().gc(now);
+            // Bound log memory on architectures without checkpoints: keep a
+            // generous tail for fail-over analysis.
+            if dep.profile.checkpoint_interval.is_none() {
+                let head = dep.db.log().head();
+                if dep.db.log().retained() > 400_000 {
+                    dep.db.log_mut().truncate_through(Lsn(head.0 - 200_000));
+                }
+            }
+            let next = now + SimDuration::from_secs(10);
+            if next < horizon {
+                events.schedule(next, Event::Gc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_sut::SutProfile;
+
+    #[test]
+    fn tenant_spec_activation_windows() {
+        let spec = TenantSpec {
+            slots: vec![0, 3, 1, 0, 2],
+            slot_len: SimDuration::from_secs(10),
+            mix: TxnMix::read_only(),
+            dist: AccessDistribution::Uniform,
+            partition: KeyPartition::whole(100, 100),
+        };
+        assert_eq!(spec.duration(), SimDuration::from_secs(50));
+        assert_eq!(spec.max_concurrency(), 3);
+        assert_eq!(spec.concurrency_at(SimTime::from_secs(15)), 3);
+        assert_eq!(spec.concurrency_at(SimTime::from_secs(55)), 0, "beyond schedule");
+        // Client 0 first activates at slot 1.
+        assert_eq!(spec.next_activation(SimTime::ZERO, 0), Some(SimTime::from_secs(10)));
+        // Already active: activation is "now".
+        assert_eq!(
+            spec.next_activation(SimTime::from_secs(12), 0),
+            Some(SimTime::from_secs(12))
+        );
+        // Client 2 is only active in slot 1 (concurrency 3).
+        assert_eq!(
+            spec.next_activation(SimTime::from_secs(25), 2),
+            None,
+            "no later slot reaches concurrency 3"
+        );
+        // Client 1 re-activates in slot 4 (concurrency 2).
+        assert_eq!(
+            spec.next_activation(SimTime::from_secs(25), 1),
+            Some(SimTime::from_secs(40))
+        );
+    }
+
+    #[test]
+    fn lag_samples_cap_and_classify() {
+        let mut lag = LagSamples::default();
+        lag.push(TxnKind::NewOrderline, SimDuration::from_millis(1));
+        lag.push(TxnKind::OrderPayment, SimDuration::from_millis(2));
+        lag.push(TxnKind::OrderlineDeletion, SimDuration::from_millis(3));
+        lag.push(TxnKind::OrderStatus, SimDuration::from_millis(4)); // ignored
+        assert_eq!(lag.insert.len(), 1);
+        assert_eq!(lag.update.len(), 1);
+        assert_eq!(lag.delete.len(), 1);
+        assert!((LagSamples::mean_ms(&lag.update) - 2.0).abs() < 1e-9);
+        assert_eq!(LagSamples::mean_ms(&[]), 0.0);
+    }
+
+    #[test]
+    fn tenant_result_latency_math() {
+        let mut tr = TenantResult::new();
+        assert_eq!(tr.avg_latency(), SimDuration::ZERO);
+        tr.committed = 4;
+        tr.latency_sum = SimDuration::from_millis(8);
+        assert_eq!(tr.avg_latency(), SimDuration::from_millis(2));
+    }
+
+    fn quick_dep(profile: SutProfile) -> Deployment {
+        Deployment::new(profile, 1, 1000, 1, 42)
+    }
+
+    fn whole(dep: &Deployment) -> KeyPartition {
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers)
+    }
+
+    #[test]
+    fn constant_read_only_run_produces_throughput() {
+        let mut dep = quick_dep(SutProfile::aws_rds());
+        let spec = TenantSpec::constant(
+            20,
+            SimDuration::from_secs(5),
+            TxnMix::read_only(),
+            AccessDistribution::Uniform,
+            whole(&dep),
+        );
+        let r = run(&mut dep, &[spec], &RunOptions::default());
+        assert!(r.tenants[0].committed > 1000, "committed = {}", r.tenants[0].committed);
+        assert!(r.overall_tps() > 200.0);
+        assert!(r.tenants[0].avg_latency() >= CLIENT_RTT);
+    }
+
+    #[test]
+    fn write_mix_replicates_and_lags() {
+        let mut dep = quick_dep(SutProfile::cdb1());
+        let spec = TenantSpec::constant(
+            10,
+            SimDuration::from_secs(5),
+            TxnMix::read_write(),
+            AccessDistribution::Uniform,
+            whole(&dep),
+        );
+        let opts = RunOptions {
+            collect_lag: true,
+            ..RunOptions::default()
+        };
+        let r = run(&mut dep, &[spec], &opts);
+        assert!(r.tenants[0].committed > 500);
+        assert!(!r.lag.update.is_empty() || !r.lag.insert.is_empty());
+        assert!(dep.streams[0].records() > 0, "replication stream saw DML");
+    }
+
+    #[test]
+    fn latest_distribution_creates_contention() {
+        let run_with = |dist| {
+            let mut dep = quick_dep(SutProfile::aws_rds());
+            let spec = TenantSpec::constant(
+                30,
+                SimDuration::from_secs(5),
+                TxnMix::new(0.0, 100.0, 0.0, 0.0), // all T2 updates
+                dist,
+                whole(&dep),
+            );
+            run(&mut dep, &[spec], &RunOptions::default())
+        };
+        let uniform = run_with(AccessDistribution::Uniform);
+        let hot = run_with(AccessDistribution::Latest(5));
+        assert!(
+            hot.lock_conflicts > uniform.lock_conflicts * 2,
+            "hot {} vs uniform {}",
+            hot.lock_conflicts,
+            uniform.lock_conflicts
+        );
+        assert!(hot.overall_tps() < uniform.overall_tps());
+    }
+
+    #[test]
+    fn schedule_slots_gate_concurrency() {
+        let mut dep = quick_dep(SutProfile::aws_rds());
+        // 2s busy, 2s idle, 2s busy.
+        let spec = TenantSpec {
+            slots: vec![10, 0, 10],
+            slot_len: SimDuration::from_secs(2),
+            mix: TxnMix::read_only(),
+            dist: AccessDistribution::Uniform,
+            partition: whole(&dep),
+        };
+        let r = run(&mut dep, &[spec], &RunOptions::default());
+        let rates = r.total.rate_series();
+        assert!(rates[0] > 100.0);
+        assert!(rates[3] < rates[0] / 20.0, "idle slot ~quiet: {rates:?}");
+        assert!(rates[4] > 100.0, "load resumes: {rates:?}");
+    }
+
+    #[test]
+    fn failure_injection_stalls_then_recovers() {
+        let mut dep = quick_dep(SutProfile::cdb4());
+        let spec = TenantSpec::constant(
+            20,
+            SimDuration::from_secs(20),
+            TxnMix::read_write(),
+            AccessDistribution::Uniform,
+            whole(&dep),
+        );
+        let opts = RunOptions {
+            failure: Some(FailurePlan {
+                at: SimTime::from_secs(5),
+                target_ro: false,
+            }),
+            ..RunOptions::default()
+        };
+        let r = run(&mut dep, &[spec], &opts);
+        let timeline = r.failover.as_ref().expect("timeline recorded");
+        assert!(timeline.downtime() > SimDuration::from_secs(1));
+        let rates = r.total.rate_series();
+        // The second right after injection is (nearly) dead.
+        assert!(
+            rates[6] < rates[3] / 4.0,
+            "failure dip expected: {rates:?}"
+        );
+        // And throughput returns before the end.
+        assert!(rates[18] > rates[3] / 2.0, "recovery expected: {rates:?}");
+    }
+
+    #[test]
+    fn serverless_starts_at_minimum_and_scales_up() {
+        let mut dep = quick_dep(SutProfile::cdb3());
+        let spec = TenantSpec::constant(
+            40,
+            SimDuration::from_secs(240),
+            TxnMix::read_only(),
+            AccessDistribution::Uniform,
+            whole(&dep),
+        );
+        let r = run(&mut dep, &[spec], &RunOptions::default());
+        assert!(r.tenants[0].committed > 0);
+        for n in &dep.nodes {
+            assert_eq!(n.vcore_gauge.value_at(SimTime::ZERO), 0.25, "starts at min CU");
+        }
+        // The read-only load lands on the RO replica, which must scale up.
+        let g = &dep.nodes[1].vcore_gauge;
+        assert!(
+            g.max_in(SimTime::ZERO, r.horizon) > 0.25,
+            "scaled up under load"
+        );
+    }
+
+    #[test]
+    fn per_tenant_mapping_isolates_tenants() {
+        let mut dep = quick_dep(SutProfile::cdb3());
+        dep.add_ro_node(); // ensure 3 nodes for 3 tenants
+        dep.add_ro_node();
+        let mk = |con: u32, dep: &Deployment, i: usize| TenantSpec::constant(
+            con,
+            SimDuration::from_secs(4),
+            TxnMix::read_only(),
+            AccessDistribution::Uniform,
+            KeyPartition::tenant_slice(dep.shape.orders, dep.shape.customers, i, 3),
+        );
+        let specs = vec![mk(5, &dep, 0), mk(10, &dep, 1), mk(15, &dep, 2)];
+        let opts = RunOptions {
+            mapping: NodeMapping::PerTenant,
+            vcores: VcoreControl::Fixed,
+            ..RunOptions::default()
+        };
+        let r = run(&mut dep, &specs, &opts);
+        assert_eq!(r.tenants.len(), 3);
+        for t in &r.tenants {
+            assert!(t.committed > 100);
+        }
+        // Higher concurrency -> higher or equal throughput on its own node.
+        assert!(r.tenants[2].committed > r.tenants[0].committed);
+    }
+}

@@ -1,0 +1,50 @@
+//! # CloudyBench — a testbed for comprehensive evaluation of cloud-native
+//! databases
+//!
+//! A from-scratch reproduction of the CloudyBench benchmark (ICDE 2025) on
+//! top of a simulated cloud-native database substrate:
+//!
+//! * [`schema`] — the SaaS sales-microservice schema and data generator.
+//! * [`workload`] — transactions T1–T4, mixes, uniform/latest distributions.
+//! * [`deploy`] — assemble a SUT profile into a running cluster.
+//! * [`testbed`] — the one-stop [`testbed::Testbed`] facade (paper Fig 1).
+//! * [`driver`] — the virtual-time closed-loop workload driver.
+//! * [`elasticity`] — peak/valley patterns and the elasticity evaluator.
+//! * [`tenancy`] — contention patterns and the multi-tenancy evaluator.
+//! * [`failover_eval`] — failure injection, F-Score and R-Score.
+//! * [`lagtime`] — replication lag probes and C-Score.
+//! * [`cost`] — the Resource Unit Cost model (Table III) + actual pricing.
+//! * [`metrics`] — the PERFECT scores and the unified O-Score.
+//! * [`microservices`] — the inventory + manufacturing extension services
+//!   (the paper's Fig 2 future work), installed through the statement
+//!   registry exactly as the extensibility story prescribes.
+//! * [`collector`] — CSV export of recorded series (figures as data).
+//! * [`config`] — the props-file configuration format.
+//! * [`report`] — ASCII tables for the bench harness.
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod config;
+pub mod cost;
+pub mod deploy;
+pub mod driver;
+pub mod elasticity;
+pub mod failover_eval;
+pub mod lagtime;
+pub mod metrics;
+pub mod microservices;
+pub mod report;
+pub mod schema;
+pub mod tenancy;
+pub mod testbed;
+pub mod workload;
+
+pub use deploy::Deployment;
+pub use driver::{
+    run, FailurePlan, LagSamples, NodeMapping, RunOptions, RunResult, TenantResult, TenantSpec,
+    VcoreControl, CLIENT_RTT,
+};
+pub use schema::{create_tables, load_dataset, DatasetShape, SalesTables};
+pub use testbed::{OltpReport, Testbed};
+pub use workload::{AccessDistribution, KeyPartition, TxnKind, TxnMix};

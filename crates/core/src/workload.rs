@@ -1,0 +1,271 @@
+//! The cloud OLTP workload: transactions T1–T4, mixes, and access
+//! distributions (paper Table II and Section II-B).
+
+use cb_sim::DetRng;
+
+/// The four CloudyBench transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// T1 — New Orderline (write-only INSERT).
+    NewOrderline,
+    /// T2 — Order Payment (read-write: SELECT + 2 UPDATEs).
+    OrderPayment,
+    /// T3 — Order Status (read-only SELECT).
+    OrderStatus,
+    /// T4 — Orderline Deletion (DELETE).
+    OrderlineDeletion,
+}
+
+impl TxnKind {
+    /// Short label ("T1"…"T4").
+    pub fn label(self) -> &'static str {
+        match self {
+            TxnKind::NewOrderline => "T1",
+            TxnKind::OrderPayment => "T2",
+            TxnKind::OrderStatus => "T3",
+            TxnKind::OrderlineDeletion => "T4",
+        }
+    }
+
+    /// True if the transaction only reads.
+    pub fn is_read_only(self) -> bool {
+        self == TxnKind::OrderStatus
+    }
+}
+
+/// A transaction mix as weights over T1..T4.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TxnMix {
+    /// Weight of T1 (New Orderline).
+    pub t1: f64,
+    /// Weight of T2 (Order Payment).
+    pub t2: f64,
+    /// Weight of T3 (Order Status).
+    pub t3: f64,
+    /// Weight of T4 (Orderline Deletion).
+    pub t4: f64,
+}
+
+impl TxnMix {
+    /// Build a mix; at least one weight must be positive.
+    pub fn new(t1: f64, t2: f64, t3: f64, t4: f64) -> Self {
+        assert!(
+            t1 >= 0.0 && t2 >= 0.0 && t3 >= 0.0 && t4 >= 0.0,
+            "negative weight"
+        );
+        assert!(t1 + t2 + t3 + t4 > 0.0, "all weights zero");
+        TxnMix { t1, t2, t3, t4 }
+    }
+
+    /// The paper's read-only pattern: (t1:t2:t3) = (0:0:100).
+    pub fn read_only() -> Self {
+        TxnMix::new(0.0, 0.0, 100.0, 0.0)
+    }
+
+    /// The paper's read-write pattern: (t1:t2:t3) = (15:5:80).
+    pub fn read_write() -> Self {
+        TxnMix::new(15.0, 5.0, 80.0, 0.0)
+    }
+
+    /// The paper's write-only pattern: (t1:t2:t3) = (100:0:0).
+    pub fn write_only() -> Self {
+        TxnMix::new(100.0, 0.0, 0.0, 0.0)
+    }
+
+    /// A lag-time IUD mix: insert (T1) / update (T2) / delete (T4)
+    /// percentages, e.g. the paper's (60, 30, 10).
+    pub fn iud(insert: f64, update: f64, delete: f64) -> Self {
+        TxnMix::new(insert, update, 0.0, delete)
+    }
+
+    /// Sample a transaction kind.
+    pub fn pick(&self, rng: &mut DetRng) -> TxnKind {
+        const KINDS: [TxnKind; 4] = [
+            TxnKind::NewOrderline,
+            TxnKind::OrderPayment,
+            TxnKind::OrderStatus,
+            TxnKind::OrderlineDeletion,
+        ];
+        KINDS[rng.pick_weighted(&[self.t1, self.t2, self.t3, self.t4])]
+    }
+
+    /// Fraction of write transactions.
+    pub fn write_fraction(&self) -> f64 {
+        (self.t1 + self.t2 + self.t4) / (self.t1 + self.t2 + self.t3 + self.t4)
+    }
+
+    /// Human-readable mix label.
+    pub fn label(&self) -> String {
+        if *self == TxnMix::read_only() {
+            "RO".to_string()
+        } else if *self == TxnMix::read_write() {
+            "RW".to_string()
+        } else if *self == TxnMix::write_only() {
+            "WO".to_string()
+        } else {
+            format!("({}:{}:{}:{})", self.t1, self.t2, self.t3, self.t4)
+        }
+    }
+}
+
+/// How substitution parameters are chosen (paper Section II-B1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessDistribution {
+    /// Parameters drawn uniformly from the key range.
+    Uniform,
+    /// The `latest-N` skew: T2 updates N specific (most recent) orders and
+    /// T3 reads those same orders — the more skewed, the fresher the reads.
+    Latest(u32),
+}
+
+impl AccessDistribution {
+    /// Pick an order id from `[lo, hi]` under this distribution.
+    pub fn pick_order(&self, rng: &mut DetRng, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        match self {
+            AccessDistribution::Uniform => rng.range_inclusive(lo, hi),
+            AccessDistribution::Latest(n) => {
+                let n = i64::from(*n).max(1).min(hi - lo + 1);
+                rng.range_inclusive(hi - n + 1, hi)
+            }
+        }
+    }
+}
+
+/// The slice of the key space one tenant works on. Tenants partition the
+/// shared schema so their row accesses never collide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyPartition {
+    /// Lowest order id (inclusive).
+    pub orders_lo: i64,
+    /// Highest order id (inclusive).
+    pub orders_hi: i64,
+    /// Lowest customer id (inclusive).
+    pub customers_lo: i64,
+    /// Highest customer id (inclusive).
+    pub customers_hi: i64,
+}
+
+impl KeyPartition {
+    /// The full key space of a dataset with the given row counts.
+    pub fn whole(orders: u64, customers: u64) -> Self {
+        KeyPartition {
+            orders_lo: 1,
+            orders_hi: orders as i64,
+            customers_lo: 1,
+            customers_hi: customers as i64,
+        }
+    }
+
+    /// Partition the key space into `n` equal tenant slices; `i` in `0..n`.
+    pub fn tenant_slice(orders: u64, customers: u64, i: usize, n: usize) -> Self {
+        assert!(n > 0 && i < n);
+        let slice = |total: u64| {
+            let per = (total / n as u64).max(1);
+            let lo = 1 + i as u64 * per;
+            let hi = if i == n - 1 { total } else { lo + per - 1 };
+            (lo as i64, hi as i64)
+        };
+        let (olo, ohi) = slice(orders);
+        let (clo, chi) = slice(customers);
+        KeyPartition {
+            orders_lo: olo,
+            orders_hi: ohi,
+            customers_lo: clo,
+            customers_hi: chi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mixes() {
+        assert_eq!(TxnMix::read_only().label(), "RO");
+        assert_eq!(TxnMix::read_write().label(), "RW");
+        assert_eq!(TxnMix::write_only().label(), "WO");
+        assert_eq!(TxnMix::read_only().write_fraction(), 0.0);
+        assert_eq!(TxnMix::write_only().write_fraction(), 1.0);
+        let rw = TxnMix::read_write();
+        assert!((rw.write_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        let mix = TxnMix::read_write();
+        let mut rng = DetRng::seeded(1);
+        let mut counts = [0u32; 4];
+        for _ in 0..10_000 {
+            match mix.pick(&mut rng) {
+                TxnKind::NewOrderline => counts[0] += 1,
+                TxnKind::OrderPayment => counts[1] += 1,
+                TxnKind::OrderStatus => counts[2] += 1,
+                TxnKind::OrderlineDeletion => counts[3] += 1,
+            }
+        }
+        assert!((1300..1700).contains(&counts[0]), "{counts:?}");
+        assert!((350..650).contains(&counts[1]), "{counts:?}");
+        assert!((7700..8300).contains(&counts[2]), "{counts:?}");
+        assert_eq!(counts[3], 0);
+    }
+
+    #[test]
+    fn iud_mix_uses_t1_t2_t4() {
+        let mix = TxnMix::iud(60.0, 30.0, 10.0);
+        let mut rng = DetRng::seeded(2);
+        for _ in 0..100 {
+            assert_ne!(mix.pick(&mut rng), TxnKind::OrderStatus);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let d = AccessDistribution::Uniform;
+        let mut rng = DetRng::seeded(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            let k = d.pick_order(&mut rng, 1, 50);
+            assert!((1..=50).contains(&k));
+            lo_seen |= k == 1;
+            hi_seen |= k == 50;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn latest_n_confines_to_top_keys() {
+        let d = AccessDistribution::Latest(10);
+        let mut rng = DetRng::seeded(4);
+        for _ in 0..2000 {
+            let k = d.pick_order(&mut rng, 1, 1000);
+            assert!((991..=1000).contains(&k), "k = {k}");
+        }
+        // N larger than the range degrades to uniform over the range.
+        let wide = AccessDistribution::Latest(1000);
+        for _ in 0..100 {
+            let k = wide.pick_order(&mut rng, 5, 10);
+            assert!((5..=10).contains(&k));
+        }
+    }
+
+    #[test]
+    fn tenant_slices_partition_cleanly() {
+        let slices: Vec<KeyPartition> = (0..3)
+            .map(|i| KeyPartition::tenant_slice(300, 300, i, 3))
+            .collect();
+        assert_eq!(slices[0].orders_lo, 1);
+        assert_eq!(slices[0].orders_hi, 100);
+        assert_eq!(slices[1].orders_lo, 101);
+        assert_eq!(slices[2].orders_hi, 300);
+        // No overlap.
+        for w in slices.windows(2) {
+            assert!(w[0].orders_hi < w[1].orders_lo);
+        }
+        // Whole covers everything.
+        let whole = KeyPartition::whole(300, 300);
+        assert_eq!((whole.orders_lo, whole.orders_hi), (1, 300));
+    }
+}

@@ -1,0 +1,645 @@
+//! A clustered B+tree over fixed-size pages.
+//!
+//! Keys are `i64` primary keys; payloads are encoded row images stored in
+//! slotted leaf pages. Internal nodes hold fixed-width `(key, child)`
+//! separators. Every page the tree touches is reported to the caller through
+//! an [`AccessLog`] so the buffer pool can charge cache hits and misses —
+//! the tree itself is oblivious to caching.
+//!
+//! Deletion is lazy (no rebalancing), the same pragmatic choice PostgreSQL
+//! makes: pages may become sparse but never invalid. The CloudyBench
+//! workloads insert and delete orderlines at similar rates, so occupancy
+//! stays healthy.
+
+use cb_store::{PageBuf, PageId, PageStore};
+
+use crate::slotted::Slotted;
+
+const TYPE_LEAF: u8 = 0;
+const TYPE_INTERNAL: u8 = 1;
+
+const OFF_TYPE: usize = 0;
+const OFF_NKEYS: usize = 2; // internal only
+const OFF_NEXT_LEAF: usize = 8; // leaf only
+const OFF_LEFT_CHILD: usize = 8; // internal only
+const ENTRIES_BASE: usize = 16;
+const ENTRY_BYTES: usize = 16; // key i64 + child u64
+
+/// Maximum separator entries in an internal node.
+pub const INTERNAL_CAPACITY: usize = (cb_store::PAGE_SIZE - ENTRIES_BASE) / ENTRY_BYTES;
+
+/// Records every page access the tree performs, in order, with a write flag.
+pub type AccessLog = Vec<(PageId, bool)>;
+
+/// Attempted insert of an existing key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DuplicateKey(pub i64);
+
+fn is_leaf(page: &PageBuf) -> bool {
+    page.as_bytes()[OFF_TYPE] == TYPE_LEAF
+}
+
+fn init_leaf(page: &mut PageBuf) {
+    page.as_bytes_mut()[OFF_TYPE] = TYPE_LEAF;
+    page.put_u64(OFF_NEXT_LEAF, PageId::INVALID.0);
+    Slotted::init(page, ENTRIES_BASE);
+}
+
+fn leaf_next(page: &PageBuf) -> PageId {
+    PageId(page.get_u64(OFF_NEXT_LEAF))
+}
+
+fn set_leaf_next(page: &mut PageBuf, next: PageId) {
+    page.put_u64(OFF_NEXT_LEAF, next.0);
+}
+
+fn init_internal(page: &mut PageBuf, left_child: PageId) {
+    page.as_bytes_mut()[OFF_TYPE] = TYPE_INTERNAL;
+    page.put_u16(OFF_NKEYS, 0);
+    page.put_u64(OFF_LEFT_CHILD, left_child.0);
+}
+
+fn internal_nkeys(page: &PageBuf) -> usize {
+    page.get_u16(OFF_NKEYS) as usize
+}
+
+fn internal_key(page: &PageBuf, i: usize) -> i64 {
+    page.get_i64(ENTRIES_BASE + i * ENTRY_BYTES)
+}
+
+/// Child pointer `i` where 0 is the leftmost child and `i` in `1..=nkeys`
+/// follows separator `i-1`.
+fn internal_child(page: &PageBuf, i: usize) -> PageId {
+    if i == 0 {
+        PageId(page.get_u64(OFF_LEFT_CHILD))
+    } else {
+        PageId(page.get_u64(ENTRIES_BASE + (i - 1) * ENTRY_BYTES + 8))
+    }
+}
+
+/// Index of the child to descend into for `key`: the number of separators
+/// `<= key`.
+fn internal_find_child(page: &PageBuf, key: i64) -> usize {
+    let n = internal_nkeys(page);
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if internal_key(page, mid) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Insert separator `key` (with right child `child`) at position `idx`.
+fn internal_insert_at(page: &mut PageBuf, idx: usize, key: i64, child: PageId) {
+    let n = internal_nkeys(page);
+    assert!(n < INTERNAL_CAPACITY, "internal node overflow");
+    let src = ENTRIES_BASE + idx * ENTRY_BYTES;
+    page.as_bytes_mut()
+        .copy_within(src..ENTRIES_BASE + n * ENTRY_BYTES, src + ENTRY_BYTES);
+    page.put_i64(src, key);
+    page.put_u64(src + 8, child.0);
+    page.put_u16(OFF_NKEYS, (n + 1) as u16);
+}
+
+/// A clustered B+tree rooted at a page.
+pub struct BTree {
+    root: PageId,
+}
+
+/// Result of a structural descent: the leaf holding (or that would hold) a
+/// key, plus the internal path to it.
+struct Descent {
+    /// `(internal page, child index taken)` from root to the leaf's parent.
+    path: Vec<(PageId, usize)>,
+    leaf: PageId,
+}
+
+impl BTree {
+    /// Create an empty tree (one leaf page).
+    pub fn create(store: &mut PageStore) -> BTree {
+        let root = store.allocate();
+        init_leaf(store.write(root));
+        BTree { root }
+    }
+
+    /// Re-attach to an existing root (used by recovery).
+    pub fn from_root(root: PageId) -> BTree {
+        BTree { root }
+    }
+
+    /// The current root page.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    fn descend(&self, store: &PageStore, key: i64, log: &mut AccessLog) -> Descent {
+        let mut path = Vec::new();
+        let mut page_id = self.root;
+        loop {
+            let page = store.read(page_id);
+            log.push((page_id, false));
+            if is_leaf(page) {
+                return Descent { path, leaf: page_id };
+            }
+            let idx = internal_find_child(page, key);
+            let child = internal_child(page, idx);
+            path.push((page_id, idx));
+            page_id = child;
+        }
+    }
+
+    /// Look up `key`, returning its payload.
+    pub fn get(&self, store: &PageStore, key: i64, log: &mut AccessLog) -> Option<Vec<u8>> {
+        let d = self.descend(store, key, log);
+        let page = store.read(d.leaf);
+        let mut tmp = page.clone();
+        let s = Slotted::new(&mut tmp, ENTRIES_BASE);
+        s.find(key).ok().map(|i| s.payload_at(i).to_vec())
+    }
+
+    /// True if `key` exists (cheaper than [`BTree::get`] — no payload copy).
+    pub fn contains(&self, store: &PageStore, key: i64, log: &mut AccessLog) -> bool {
+        let d = self.descend(store, key, log);
+        let page = store.read(d.leaf);
+        let mut tmp = page.clone();
+        Slotted::new(&mut tmp, ENTRIES_BASE).find(key).is_ok()
+    }
+
+    /// Insert `key -> payload`. Splits as needed.
+    pub fn insert(
+        &mut self,
+        store: &mut PageStore,
+        key: i64,
+        payload: &[u8],
+        log: &mut AccessLog,
+    ) -> Result<(), DuplicateKey> {
+        let d = self.descend(store, key, log);
+        {
+            let page = store.write(d.leaf);
+            let mut s = Slotted::new(page, ENTRIES_BASE);
+            if s.find(key).is_ok() {
+                return Err(DuplicateKey(key));
+            }
+            if let Ok(()) = s.insert(key, payload) {
+                log.push((d.leaf, true));
+                return Ok(());
+            }
+        }
+        // Split the leaf and retry on the correct side.
+        let (sep, right_id) = self.split_leaf(store, d.leaf, log);
+        let target = if key < sep { d.leaf } else { right_id };
+        {
+            let page = store.write(target);
+            let mut s = Slotted::new(page, ENTRIES_BASE);
+            s.insert(key, payload)
+                .expect("post-split leaf has room for one record");
+            log.push((target, true));
+        }
+        self.propagate_split(store, d.path, sep, right_id, log);
+        Ok(())
+    }
+
+    /// Replace the payload of `key`. Returns `false` if absent. May split if
+    /// the new payload no longer fits.
+    pub fn update(
+        &mut self,
+        store: &mut PageStore,
+        key: i64,
+        payload: &[u8],
+        log: &mut AccessLog,
+    ) -> bool {
+        let d = self.descend(store, key, log);
+        {
+            let page = store.write(d.leaf);
+            let mut s = Slotted::new(page, ENTRIES_BASE);
+            match s.find(key) {
+                Err(_) => return false,
+                Ok(idx) => {
+                    if s.update(idx, payload).is_ok() {
+                        log.push((d.leaf, true));
+                        return true;
+                    }
+                }
+            }
+        }
+        // Grow-in-full-page: delete + reinsert through the split path.
+        let removed = self.delete(store, key, log);
+        debug_assert!(removed.is_some());
+        self.insert(store, key, payload, log)
+            .expect("key was just deleted");
+        true
+    }
+
+    /// Delete `key`, returning its old payload.
+    pub fn delete(
+        &mut self,
+        store: &mut PageStore,
+        key: i64,
+        log: &mut AccessLog,
+    ) -> Option<Vec<u8>> {
+        let d = self.descend(store, key, log);
+        let page = store.write(d.leaf);
+        let mut s = Slotted::new(page, ENTRIES_BASE);
+        match s.find(key) {
+            Err(_) => None,
+            Ok(idx) => {
+                let old = s.payload_at(idx).to_vec();
+                s.remove(idx);
+                log.push((d.leaf, true));
+                Some(old)
+            }
+        }
+    }
+
+    /// Visit `(key, payload)` for every record with `lo <= key <= hi`, in
+    /// key order. Stops early if `f` returns `false`.
+    pub fn scan_range(
+        &self,
+        store: &PageStore,
+        lo: i64,
+        hi: i64,
+        log: &mut AccessLog,
+        mut f: impl FnMut(i64, &[u8]) -> bool,
+    ) {
+        if lo > hi {
+            return;
+        }
+        let d = self.descend(store, lo, log);
+        let mut leaf_id = d.leaf;
+        while leaf_id.is_valid() {
+            let page = store.read(leaf_id);
+            if leaf_id != d.leaf {
+                log.push((leaf_id, false));
+            }
+            let mut tmp = page.clone();
+            let s = Slotted::new(&mut tmp, ENTRIES_BASE);
+            let start = match s.find(lo) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            for i in start..s.len() {
+                let k = s.key_at(i);
+                if k > hi {
+                    return;
+                }
+                if !f(k, s.payload_at(i)) {
+                    return;
+                }
+            }
+            leaf_id = leaf_next(page);
+        }
+    }
+
+    /// Total number of records (full scan; O(n)).
+    pub fn count(&self, store: &PageStore, log: &mut AccessLog) -> u64 {
+        let mut n = 0u64;
+        self.scan_range(store, i64::MIN, i64::MAX, log, |_, _| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// Largest key in the tree, if any.
+    pub fn max_key(&self, store: &PageStore, log: &mut AccessLog) -> Option<i64> {
+        // Descend along the rightmost spine.
+        let mut page_id = self.root;
+        let mut best = None;
+        loop {
+            let page = store.read(page_id);
+            log.push((page_id, false));
+            if is_leaf(page) {
+                let mut tmp = page.clone();
+                let s = Slotted::new(&mut tmp, ENTRIES_BASE);
+                if !s.is_empty() {
+                    best = Some(s.key_at(s.len() - 1));
+                }
+                // A rightmost leaf can be empty after deletions; walking back
+                // is impossible without parent pointers, so scan as fallback.
+                if best.is_none() {
+                    let mut last = None;
+                    self.scan_range(store, i64::MIN, i64::MAX, log, |k, _| {
+                        last = Some(k);
+                        true
+                    });
+                    best = last;
+                }
+                return best;
+            }
+            let n = internal_nkeys(page);
+            page_id = internal_child(page, n);
+        }
+    }
+
+    /// Height of the tree (1 = just a root leaf).
+    pub fn height(&self, store: &PageStore) -> usize {
+        let mut h = 1;
+        let mut page_id = self.root;
+        loop {
+            let page = store.read(page_id);
+            if is_leaf(page) {
+                return h;
+            }
+            page_id = internal_child(page, 0);
+            h += 1;
+        }
+    }
+
+    fn split_leaf(
+        &mut self,
+        store: &mut PageStore,
+        leaf: PageId,
+        log: &mut AccessLog,
+    ) -> (i64, PageId) {
+        let right_id = store.allocate();
+        // Split contents via a scratch copy to sidestep double-borrow.
+        let mut left_copy = store.read(leaf).clone();
+        let mut right_page = PageBuf::zeroed();
+        init_leaf(&mut right_page);
+        let sep = {
+            let mut left_s = Slotted::new(&mut left_copy, ENTRIES_BASE);
+            let mut right_s = Slotted::new(&mut right_page, ENTRIES_BASE);
+            left_s.split_into(&mut right_s)
+        };
+        set_leaf_next(&mut right_page, leaf_next(&left_copy));
+        set_leaf_next(&mut left_copy, right_id);
+        *store.write(leaf) = left_copy;
+        *store.write(right_id) = right_page;
+        log.push((leaf, true));
+        log.push((right_id, true));
+        (sep, right_id)
+    }
+
+    /// Walk back up `path` inserting the separator; splits internal nodes
+    /// (and grows a new root) as needed.
+    fn propagate_split(
+        &mut self,
+        store: &mut PageStore,
+        mut path: Vec<(PageId, usize)>,
+        mut sep: i64,
+        mut right: PageId,
+        log: &mut AccessLog,
+    ) {
+        loop {
+            match path.pop() {
+                None => {
+                    // Root split: grow the tree by one level.
+                    let new_root = store.allocate();
+                    let old_root = self.root;
+                    let page = store.write(new_root);
+                    init_internal(page, old_root);
+                    internal_insert_at(page, 0, sep, right);
+                    log.push((new_root, true));
+                    self.root = new_root;
+                    return;
+                }
+                Some((node, idx)) => {
+                    let nkeys = internal_nkeys(store.read(node));
+                    if nkeys < INTERNAL_CAPACITY {
+                        internal_insert_at(store.write(node), idx, sep, right);
+                        log.push((node, true));
+                        return;
+                    }
+                    // Split the internal node: middle key moves up.
+                    let (mid_key, new_right) = {
+                        let left = store.read(node).clone();
+                        let n = internal_nkeys(&left);
+                        let mid = n / 2;
+                        let mid_key = internal_key(&left, mid);
+                        let new_right_id = store.allocate();
+                        let mut right_page = PageBuf::zeroed();
+                        init_internal(&mut right_page, internal_child(&left, mid + 1));
+                        for i in mid + 1..n {
+                            let k = internal_key(&left, i);
+                            let c = internal_child(&left, i + 1);
+                            let nk = internal_nkeys(&right_page);
+                            internal_insert_at(&mut right_page, nk, k, c);
+                        }
+                        *store.write(new_right_id) = right_page;
+                        store.write(node).put_u16(OFF_NKEYS, mid as u16);
+                        (mid_key, new_right_id)
+                    };
+                    // Insert the pending separator into the proper half.
+                    let (target, tgt_idx) = if sep < mid_key {
+                        (node, idx)
+                    } else {
+                        let mid = internal_nkeys(store.read(node));
+                        (new_right, idx - mid - 1)
+                    };
+                    internal_insert_at(store.write(target), tgt_idx, sep, right);
+                    log.push((node, true));
+                    log.push((new_right, true));
+                    sep = mid_key;
+                    right = new_right;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(k: i64) -> Vec<u8> {
+        format!("payload-{k}").into_bytes()
+    }
+
+    fn build(keys: impl IntoIterator<Item = i64>) -> (PageStore, BTree) {
+        let mut store = PageStore::new();
+        let mut tree = BTree::create(&mut store);
+        let mut log = AccessLog::new();
+        for k in keys {
+            tree.insert(&mut store, k, &payload(k), &mut log).unwrap();
+        }
+        (store, tree)
+    }
+
+    #[test]
+    fn empty_tree_lookups() {
+        let (store, tree) = build([]);
+        let mut log = AccessLog::new();
+        assert_eq!(tree.get(&store, 1, &mut log), None);
+        assert_eq!(tree.count(&store, &mut log), 0);
+        assert_eq!(tree.max_key(&store, &mut log), None);
+        assert_eq!(tree.height(&store), 1);
+    }
+
+    #[test]
+    fn insert_get_thousands_with_splits() {
+        let n = 20_000i64;
+        let (store, tree) = build(0..n);
+        assert!(tree.height(&store) >= 2, "tree should have split");
+        let mut log = AccessLog::new();
+        for k in [0, 1, n / 2, n - 1] {
+            assert_eq!(tree.get(&store, k, &mut log), Some(payload(k)));
+        }
+        assert_eq!(tree.get(&store, n, &mut log), None);
+        assert_eq!(tree.count(&store, &mut log), n as u64);
+        assert_eq!(tree.max_key(&store, &mut log), Some(n - 1));
+    }
+
+    #[test]
+    fn reverse_and_shuffled_insert_orders() {
+        let mut log = AccessLog::new();
+        let (store, tree) = build((0..5000).rev());
+        assert_eq!(tree.count(&store, &mut log), 5000);
+        for k in [0i64, 4999, 2500] {
+            assert_eq!(tree.get(&store, k, &mut log), Some(payload(k)));
+        }
+        // Strided order exercises mid-page inserts.
+        let keys: Vec<i64> = (0..5000).map(|i| (i * 2654435761u64 % 5000) as i64).collect();
+        let mut seen = std::collections::HashSet::new();
+        let uniq: Vec<i64> = keys.into_iter().filter(|k| seen.insert(*k)).collect();
+        let (store2, tree2) = build(uniq.iter().copied());
+        assert_eq!(tree2.count(&store2, &mut log), uniq.len() as u64);
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let (mut store, mut tree) = build([1, 2, 3]);
+        let mut log = AccessLog::new();
+        assert_eq!(
+            tree.insert(&mut store, 2, b"x", &mut log),
+            Err(DuplicateKey(2))
+        );
+        assert_eq!(tree.get(&store, 2, &mut log), Some(payload(2)));
+    }
+
+    #[test]
+    fn update_existing_and_missing() {
+        let (mut store, mut tree) = build(0..100);
+        let mut log = AccessLog::new();
+        assert!(tree.update(&mut store, 50, b"new-value", &mut log));
+        assert_eq!(tree.get(&store, 50, &mut log), Some(b"new-value".to_vec()));
+        assert!(!tree.update(&mut store, 1000, b"nope", &mut log));
+    }
+
+    #[test]
+    fn update_that_grows_payload_on_full_page() {
+        // Fill leaves with chunky payloads, then grow one record so the page
+        // must split through the delete+reinsert path.
+        let mut store = PageStore::new();
+        let mut tree = BTree::create(&mut store);
+        let mut log = AccessLog::new();
+        let chunky = vec![7u8; 400];
+        for k in 0..500 {
+            tree.insert(&mut store, k, &chunky, &mut log).unwrap();
+        }
+        let grown = vec![9u8; 900];
+        assert!(tree.update(&mut store, 250, &grown, &mut log));
+        assert_eq!(tree.get(&store, 250, &mut log), Some(grown));
+        assert_eq!(tree.count(&store, &mut log), 500);
+    }
+
+    #[test]
+    fn delete_and_reinsert() {
+        let (mut store, mut tree) = build(0..1000);
+        let mut log = AccessLog::new();
+        for k in (0..1000).step_by(3) {
+            assert_eq!(tree.delete(&mut store, k, &mut log), Some(payload(k)));
+        }
+        assert_eq!(tree.delete(&mut store, 0, &mut log), None);
+        assert_eq!(tree.count(&store, &mut log), 1000 - 334);
+        for k in (0..1000).step_by(3) {
+            tree.insert(&mut store, k, &payload(k), &mut log).unwrap();
+        }
+        assert_eq!(tree.count(&store, &mut log), 1000);
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let (store, tree) = build((0..2000).map(|k| k * 2)); // even keys
+        let mut log = AccessLog::new();
+        let mut seen = Vec::new();
+        tree.scan_range(&store, 100, 120, &mut log, |k, p| {
+            assert_eq!(p, payload(k).as_slice());
+            seen.push(k);
+            true
+        });
+        assert_eq!(seen, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120]);
+        // Early stop.
+        let mut first = None;
+        tree.scan_range(&store, 0, i64::MAX, &mut log, |k, _| {
+            first = Some(k);
+            false
+        });
+        assert_eq!(first, Some(0));
+        // Empty range.
+        let mut any = false;
+        tree.scan_range(&store, 7, 7, &mut log, |_, _| {
+            any = true;
+            true
+        });
+        assert!(!any, "no odd keys present");
+    }
+
+    #[test]
+    fn access_log_records_descent() {
+        let (store, tree) = build(0..20_000);
+        let mut log = AccessLog::new();
+        tree.get(&store, 12345, &mut log);
+        assert_eq!(log.len(), tree.height(&store));
+        assert!(log.iter().all(|(_, w)| !w));
+        log.clear();
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        use std::collections::BTreeMap;
+        let mut store = PageStore::new();
+        let mut tree = BTree::create(&mut store);
+        let mut model: BTreeMap<i64, Vec<u8>> = BTreeMap::new();
+        let mut log = AccessLog::new();
+        // Deterministic pseudo-random op mix.
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..30_000 {
+            let op = next() % 10;
+            let key = (next() % 2000) as i64;
+            match op {
+                0..=4 => {
+                    let val = format!("v{}", next()).into_bytes();
+                    let r = tree.insert(&mut store, key, &val, &mut log);
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
+                        assert!(r.is_ok());
+                        e.insert(val);
+                    } else {
+                        assert_eq!(r, Err(DuplicateKey(key)));
+                    }
+                }
+                5..=6 => {
+                    let val = format!("u{}", next()).into_bytes();
+                    let r = tree.update(&mut store, key, &val, &mut log);
+                    assert_eq!(r, model.contains_key(&key));
+                    if r {
+                        model.insert(key, val);
+                    }
+                }
+                7..=8 => {
+                    let r = tree.delete(&mut store, key, &mut log);
+                    assert_eq!(r, model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(tree.get(&store, key, &mut log), model.get(&key).cloned());
+                }
+            }
+        }
+        // Full-content comparison at the end.
+        let mut scanned = Vec::new();
+        tree.scan_range(&store, i64::MIN, i64::MAX, &mut log, |k, p| {
+            scanned.push((k, p.to_vec()));
+            true
+        });
+        let expected: Vec<(i64, Vec<u8>)> = model.into_iter().collect();
+        assert_eq!(scanned, expected);
+    }
+}

@@ -1,0 +1,302 @@
+//! A per-node buffer pool, modelled as an LRU cache *simulator*.
+//!
+//! Page content lives once in the cluster-wide [`cb_store::PageStore`]; what
+//! differs per compute node is which pages are resident in its cache. The
+//! pool tracks residency, recency, and dirtiness, and reports hits, misses
+//! and dirty evictions so the execution layer can charge the right simulated
+//! I/O costs. This is exactly the information the paper's buffer-size sweep
+//! (Fig. 8) and the RDS dirty-page-flushing story depend on.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cb_store::{PageId, PAGE_SIZE};
+
+/// Result of touching one page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// True if the page was already resident.
+    pub hit: bool,
+    /// If a dirty page had to be evicted to make room, its id — the caller
+    /// owes a write-back I/O (on architectures that write pages at all).
+    pub evicted_dirty: Option<PageId>,
+}
+
+#[derive(Clone, Copy)]
+struct Frame {
+    stamp: u64,
+    dirty: bool,
+}
+
+/// An LRU buffer pool over page ids.
+pub struct BufferPool {
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    lru: BTreeMap<u64, PageId>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    dirty_evictions: u64,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity: capacity.max(1),
+            frames: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+            dirty_evictions: 0,
+        }
+    }
+
+    /// A pool sized in bytes (e.g. the paper's 128 MB / 44 MB / 10 GB
+    /// configurations).
+    pub fn with_bytes(bytes: u64) -> Self {
+        BufferPool::new((bytes / PAGE_SIZE as u64).max(1) as usize)
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident pages.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// True if `id` is resident.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.frames.contains_key(&id)
+    }
+
+    /// Touch `id`, making it resident and most-recently-used. `mark_dirty`
+    /// flags the page as modified (only meaningful on architectures where
+    /// the compute tier writes pages back).
+    pub fn touch(&mut self, id: PageId, mark_dirty: bool) -> Access {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(frame) = self.frames.get_mut(&id) {
+            self.lru.remove(&frame.stamp);
+            frame.stamp = stamp;
+            frame.dirty |= mark_dirty;
+            self.lru.insert(stamp, id);
+            self.hits += 1;
+            return Access {
+                hit: true,
+                evicted_dirty: None,
+            };
+        }
+        self.misses += 1;
+        let mut evicted_dirty = None;
+        if self.frames.len() >= self.capacity {
+            let (&victim_stamp, &victim) = self.lru.iter().next().expect("pool non-empty");
+            self.lru.remove(&victim_stamp);
+            let frame = self.frames.remove(&victim).expect("victim resident");
+            if frame.dirty {
+                self.dirty_evictions += 1;
+                evicted_dirty = Some(victim);
+            }
+        }
+        self.frames.insert(
+            id,
+            Frame {
+                stamp,
+                dirty: mark_dirty,
+            },
+        );
+        self.lru.insert(stamp, id);
+        Access {
+            hit: false,
+            evicted_dirty,
+        }
+    }
+
+    /// Drop `id` from the cache without write-back (cache invalidation, used
+    /// by the memory-disaggregated remote pool coherency protocol).
+    pub fn invalidate(&mut self, id: PageId) {
+        if let Some(frame) = self.frames.remove(&id) {
+            self.lru.remove(&frame.stamp);
+        }
+    }
+
+    /// Clear dirty flags and return the pages that were dirty (a checkpoint
+    /// or clean shutdown; the caller charges the write-back I/O).
+    pub fn flush_dirty(&mut self) -> Vec<PageId> {
+        let mut flushed: Vec<PageId> = self
+            .frames
+            .iter_mut()
+            .filter(|(_, f)| f.dirty)
+            .map(|(id, f)| {
+                f.dirty = false;
+                *id
+            })
+            .collect();
+        flushed.sort_unstable();
+        flushed
+    }
+
+    /// Number of dirty resident pages.
+    pub fn dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty).count()
+    }
+
+    /// Change the capacity; shrinking evicts LRU pages (dirty ones are
+    /// returned for write-back).
+    pub fn resize(&mut self, capacity: usize) -> Vec<PageId> {
+        self.capacity = capacity.max(1);
+        let mut dirty_out = Vec::new();
+        while self.frames.len() > self.capacity {
+            let (&victim_stamp, &victim) = self.lru.iter().next().expect("pool non-empty");
+            self.lru.remove(&victim_stamp);
+            let frame = self.frames.remove(&victim).expect("victim resident");
+            if frame.dirty {
+                self.dirty_evictions += 1;
+                dirty_out.push(victim);
+            }
+        }
+        dirty_out
+    }
+
+    /// Drop everything (a node restart loses its cache — the cold-cache
+    /// penalty after fail-over comes from here).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.lru.clear();
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty pages evicted so far (each cost a write-back).
+    pub fn dirty_evictions(&self) -> u64 {
+        self.dirty_evictions
+    }
+
+    /// Hit ratio in [0, 1]; 0 if never touched.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut pool = BufferPool::new(4);
+        assert!(!pool.touch(PageId(1), false).hit);
+        assert!(pool.touch(PageId(1), false).hit);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
+        assert!((pool.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut pool = BufferPool::new(2);
+        pool.touch(PageId(1), false);
+        pool.touch(PageId(2), false);
+        pool.touch(PageId(1), false); // 2 is now LRU
+        pool.touch(PageId(3), false); // evicts 2
+        assert!(pool.contains(PageId(1)));
+        assert!(!pool.contains(PageId(2)));
+        assert!(pool.contains(PageId(3)));
+    }
+
+    #[test]
+    fn dirty_eviction_is_reported() {
+        let mut pool = BufferPool::new(1);
+        pool.touch(PageId(1), true);
+        let a = pool.touch(PageId(2), false);
+        assert_eq!(a.evicted_dirty, Some(PageId(1)));
+        assert_eq!(pool.dirty_evictions(), 1);
+        // Clean eviction reports nothing.
+        let b = pool.touch(PageId(3), false);
+        assert_eq!(b.evicted_dirty, None);
+    }
+
+    #[test]
+    fn dirty_flag_is_sticky_until_flush() {
+        let mut pool = BufferPool::new(4);
+        pool.touch(PageId(1), true);
+        pool.touch(PageId(1), false); // read does not clean it
+        assert_eq!(pool.dirty_count(), 1);
+        assert_eq!(pool.flush_dirty(), vec![PageId(1)]);
+        assert_eq!(pool.dirty_count(), 0);
+        assert!(pool.contains(PageId(1)), "flush keeps pages resident");
+    }
+
+    #[test]
+    fn invalidate_removes_without_writeback() {
+        let mut pool = BufferPool::new(4);
+        pool.touch(PageId(1), true);
+        pool.invalidate(PageId(1));
+        assert!(!pool.contains(PageId(1)));
+        assert_eq!(pool.dirty_evictions(), 0);
+        // Invalidating a non-resident page is a no-op.
+        pool.invalidate(PageId(99));
+    }
+
+    #[test]
+    fn resize_shrink_evicts_and_returns_dirty() {
+        let mut pool = BufferPool::new(4);
+        pool.touch(PageId(1), true);
+        pool.touch(PageId(2), false);
+        pool.touch(PageId(3), true);
+        let dirty = pool.resize(1);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.contains(PageId(3)));
+        assert_eq!(dirty, vec![PageId(1)]);
+    }
+
+    #[test]
+    fn clear_simulates_restart() {
+        let mut pool = BufferPool::new(4);
+        pool.touch(PageId(1), false);
+        pool.touch(PageId(2), true);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert!(!pool.touch(PageId(1), false).hit, "cold after restart");
+    }
+
+    #[test]
+    fn with_bytes_sizes_in_pages() {
+        let pool = BufferPool::with_bytes(128 * 1024 * 1024);
+        assert_eq!(pool.capacity(), 128 * 1024 * 1024 / PAGE_SIZE);
+        // Tiny pools round up to one page.
+        assert_eq!(BufferPool::with_bytes(100).capacity(), 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_pool_thrashes() {
+        let mut pool = BufferPool::new(10);
+        for round in 0..3 {
+            for k in 0..20u64 {
+                let a = pool.touch(PageId(k), false);
+                assert!(!a.hit, "round {round}: sequential working set of 2x capacity never hits");
+            }
+        }
+    }
+}

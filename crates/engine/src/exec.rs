@@ -1,0 +1,343 @@
+//! Execution context: where logical work meets simulated cost.
+//!
+//! Every engine operation runs *logically for real* (B+tree pages change)
+//! while an [`ExecCtx`] accumulates what the operation would have cost on
+//! the node executing it: CPU demand (later reserved on the node's
+//! [`cb_sim::CpuResource`]) and I/O wait (buffer misses, write-backs, WAL
+//! appends). The cache hierarchy is local buffer pool → optional shared
+//! remote pool (memory disaggregation) → storage service.
+
+use cb_sim::{SimDuration, SimTime};
+use cb_store::{PageId, StorageService};
+
+use crate::bufferpool::BufferPool;
+
+/// Tunable CPU/cache cost constants. One per SUT profile.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Parse/plan/dispatch cost per SQL statement.
+    pub cpu_per_stmt: SimDuration,
+    /// CPU cost per page touched (latch, search within page).
+    pub cpu_per_page: SimDuration,
+    /// CPU cost per row materialized or modified.
+    pub cpu_per_row: SimDuration,
+    /// CPU cost of commit bookkeeping.
+    pub cpu_per_commit: SimDuration,
+    /// Extra latency of a local buffer hit (beyond CPU), effectively memory.
+    pub local_hit: SimDuration,
+    /// Latency of a remote-buffer-pool hit (RDMA round trip), when present.
+    pub remote_hit: SimDuration,
+    /// CPU consumed handling a storage miss (buffer replacement, I/O
+    /// submission/completion) — why saturated throughput still drops when
+    /// the working set outgrows the buffer pool.
+    pub cpu_per_storage_read: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cpu_per_stmt: SimDuration::from_micros(10),
+            cpu_per_page: SimDuration::from_nanos(1500),
+            cpu_per_row: SimDuration::from_micros(2),
+            cpu_per_commit: SimDuration::from_micros(5),
+            local_hit: SimDuration::from_nanos(200),
+            remote_hit: SimDuration::from_micros(5),
+            cpu_per_storage_read: SimDuration::from_micros(25),
+        }
+    }
+}
+
+/// Per-operation statistics, useful for assertions and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Pages served from the local buffer pool.
+    pub local_hits: u64,
+    /// Pages served from the shared remote pool.
+    pub remote_hits: u64,
+    /// Pages fetched from the storage service.
+    pub storage_reads: u64,
+    /// Dirty pages written back (evictions + flushes).
+    pub page_writebacks: u64,
+    /// Rows processed.
+    pub rows: u64,
+    /// Statements executed.
+    pub statements: u64,
+}
+
+/// The shared remote buffer tier of a memory-disaggregated SUT.
+pub struct RemoteTier<'a> {
+    /// The shared pool (one per cluster, passed in by the driver).
+    pub pool: &'a mut BufferPool,
+}
+
+/// Execution environment for one transaction on one node.
+pub struct ExecCtx<'a> {
+    /// Virtual start instant of the operation.
+    pub now: SimTime,
+    /// The node's local buffer pool.
+    pub pool: &'a mut BufferPool,
+    /// Optional shared remote buffer pool (CDB4-style).
+    pub remote: Option<RemoteTier<'a>>,
+    /// The cluster's storage service.
+    pub storage: &'a mut StorageService,
+    /// Cost constants for this SUT.
+    pub model: &'a CostModel,
+    /// Accumulated CPU demand.
+    pub cpu: SimDuration,
+    /// Accumulated I/O + remote-memory wait.
+    pub io: SimDuration,
+    /// Counters.
+    pub stats: ExecStats,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A fresh context for a transaction starting at `now`.
+    pub fn new(
+        now: SimTime,
+        pool: &'a mut BufferPool,
+        remote: Option<RemoteTier<'a>>,
+        storage: &'a mut StorageService,
+        model: &'a CostModel,
+    ) -> Self {
+        ExecCtx {
+            now,
+            pool,
+            remote,
+            storage,
+            model,
+            cpu: SimDuration::ZERO,
+            io: SimDuration::ZERO,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The virtual instant the accumulated I/O has reached (device queues
+    /// are charged at this point in time).
+    fn io_now(&self) -> SimTime {
+        self.now + self.io
+    }
+
+    /// Charge one page access. `write` marks intent to modify; whether that
+    /// dirties the cache depends on the storage architecture (redo-pushdown
+    /// tiers never hold dirty pages on compute).
+    pub fn charge_page(&mut self, id: PageId, write: bool) {
+        self.cpu += self.model.cpu_per_page;
+        let mark_dirty = write && !self.storage.arch().redo_pushdown();
+        let access = self.pool.touch(id, mark_dirty);
+        if access.hit {
+            self.stats.local_hits += 1;
+            self.io += self.model.local_hit;
+            return;
+        }
+        // Local miss: try the remote tier, then storage.
+        let mut served_remote = false;
+        if let Some(remote) = self.remote.as_mut() {
+            let r = remote.pool.touch(id, mark_dirty);
+            if r.hit {
+                served_remote = true;
+                self.stats.remote_hits += 1;
+                self.io += self.model.remote_hit;
+            }
+            // A dirty page falling out of the (huge) remote pool goes to
+            // storage; rare, but account for it.
+            if r.evicted_dirty.is_some() {
+                let at = self.io_now();
+                self.io += self.storage.page_write_cost(at);
+                self.stats.page_writebacks += 1;
+            }
+        }
+        if !served_remote {
+            let at = self.io_now();
+            self.io += self.storage.page_read_cost(at);
+            self.cpu += self.model.cpu_per_storage_read;
+            self.stats.storage_reads += 1;
+        }
+        // Local eviction write-back: to the remote tier if present (cheap),
+        // otherwise to storage.
+        if let Some(victim) = access.evicted_dirty {
+            if let Some(remote) = self.remote.as_mut() {
+                remote.pool.touch(victim, true);
+                self.io += self.model.remote_hit;
+            } else {
+                let at = self.io_now();
+                self.io += self.storage.page_write_cost(at);
+            }
+            self.stats.page_writebacks += 1;
+        }
+    }
+
+    /// Charge statement dispatch.
+    pub fn charge_stmt(&mut self) {
+        self.cpu += self.model.cpu_per_stmt;
+        self.stats.statements += 1;
+    }
+
+    /// Charge `n` rows of processing.
+    pub fn charge_rows(&mut self, n: u64) {
+        self.cpu += self.model.cpu_per_row * n;
+        self.stats.rows += n;
+    }
+
+    /// Charge a durable WAL append of `bytes` (the commit path).
+    pub fn charge_log_append(&mut self, bytes: u64) {
+        self.cpu += self.model.cpu_per_commit;
+        let at = self.io_now();
+        self.io += self.storage.log_append_cost(at, bytes);
+    }
+
+    /// Charge a background-style write-back of one page (checkpoints).
+    pub fn charge_page_writeback(&mut self) {
+        let at = self.io_now();
+        self.io += self.storage.page_write_cost(at);
+        self.stats.page_writebacks += 1;
+    }
+
+    /// Total simulated latency accumulated so far (CPU demand is reported
+    /// separately because it contends on the node's CPU resource).
+    pub fn total_io(&self) -> SimDuration {
+        self.io
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_sim::{Device, DeviceKind, NetworkLink};
+    use cb_store::StorageArch;
+
+    fn coupled_storage() -> StorageService {
+        StorageService::new(
+            StorageArch::Coupled,
+            Device::new(DeviceKind::LocalNvme, SimDuration::from_micros(90), None),
+            Device::new(DeviceKind::LocalNvme, SimDuration::from_micros(90), None),
+            None,
+            1,
+            SimDuration::ZERO,
+        )
+    }
+
+    fn pushdown_storage() -> StorageService {
+        StorageService::new(
+            StorageArch::SmartStorage,
+            Device::new(DeviceKind::NetworkSsd, SimDuration::from_micros(450), None),
+            Device::new(DeviceKind::NetworkSsd, SimDuration::from_micros(450), None),
+            Some(NetworkLink::tcp(10.0)),
+            6,
+            SimDuration::ZERO,
+        )
+    }
+
+    fn memdisagg_storage() -> StorageService {
+        StorageService::new(
+            StorageArch::MemoryDisagg,
+            Device::new(DeviceKind::NetworkSsd, SimDuration::from_micros(450), None),
+            Device::new(DeviceKind::NetworkSsd, SimDuration::from_micros(450), None),
+            Some(NetworkLink::rdma(10.0)),
+            3,
+            SimDuration::ZERO,
+        )
+    }
+
+    #[test]
+    fn hit_is_cheaper_than_miss() {
+        let mut pool = BufferPool::new(8);
+        let mut storage = coupled_storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut storage, &model);
+        ctx.charge_page(PageId(1), false); // miss
+        let miss_io = ctx.io;
+        ctx.charge_page(PageId(1), false); // hit
+        let hit_io = ctx.io - miss_io;
+        assert!(hit_io < miss_io / 10);
+        assert_eq!(ctx.stats.local_hits, 1);
+        assert_eq!(ctx.stats.storage_reads, 1);
+    }
+
+    #[test]
+    fn redo_pushdown_never_dirties() {
+        let mut pool = BufferPool::new(1);
+        let mut storage = pushdown_storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut storage, &model);
+        ctx.charge_page(PageId(1), true);
+        ctx.charge_page(PageId(2), true); // evicts page 1 — must not write back
+        assert_eq!(ctx.stats.page_writebacks, 0);
+        assert_eq!(ctx.pool.dirty_count(), 0);
+    }
+
+    #[test]
+    fn coupled_storage_pays_dirty_evictions() {
+        let mut pool = BufferPool::new(1);
+        let mut storage = coupled_storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut storage, &model);
+        ctx.charge_page(PageId(1), true);
+        let before = ctx.io;
+        ctx.charge_page(PageId(2), false); // evicts dirty page 1
+        assert_eq!(ctx.stats.page_writebacks, 1);
+        // Paid a storage read *and* a write-back.
+        assert!(ctx.io - before >= SimDuration::from_micros(180));
+    }
+
+    #[test]
+    fn remote_tier_serves_local_misses() {
+        let mut local = BufferPool::new(1);
+        let mut remote_pool = BufferPool::new(1024);
+        remote_pool.touch(PageId(7), false); // pre-warm the remote tier
+        let mut storage = memdisagg_storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(
+            SimTime::ZERO,
+            &mut local,
+            Some(RemoteTier { pool: &mut remote_pool }),
+            &mut storage,
+            &model,
+        );
+        ctx.charge_page(PageId(7), false);
+        assert_eq!(ctx.stats.remote_hits, 1);
+        assert_eq!(ctx.stats.storage_reads, 0);
+        assert!(ctx.io <= SimDuration::from_micros(10), "io = {}", ctx.io);
+    }
+
+    #[test]
+    fn remote_tier_absorbs_dirty_evictions() {
+        let mut local = BufferPool::new(1);
+        let mut remote_pool = BufferPool::new(1024);
+        let mut storage = memdisagg_storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(
+            SimTime::ZERO,
+            &mut local,
+            Some(RemoteTier { pool: &mut remote_pool }),
+            &mut storage,
+            &model,
+        );
+        ctx.charge_page(PageId(1), true); // dirty
+        ctx.charge_page(PageId(2), false); // evicts 1 into the remote pool
+        assert_eq!(ctx.stats.page_writebacks, 1);
+        // Subsequent access to page 1 is a remote hit, not a storage read.
+        ctx.charge_page(PageId(1), false);
+        assert_eq!(ctx.stats.remote_hits, 1);
+        let _ = ctx;
+        assert!(remote_pool.contains(PageId(1)));
+    }
+
+    #[test]
+    fn cpu_and_io_accumulate_separately() {
+        let mut pool = BufferPool::new(8);
+        let mut storage = coupled_storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut storage, &model);
+        ctx.charge_stmt();
+        ctx.charge_rows(3);
+        let cpu_only = ctx.cpu;
+        assert_eq!(
+            cpu_only,
+            model.cpu_per_stmt + model.cpu_per_row * 3
+        );
+        assert_eq!(ctx.io, SimDuration::ZERO);
+        ctx.charge_log_append(256);
+        assert!(ctx.io >= SimDuration::from_micros(90));
+        assert_eq!(ctx.cpu, cpu_only + model.cpu_per_commit);
+    }
+}

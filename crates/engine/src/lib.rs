@@ -1,0 +1,36 @@
+//! # cb-engine — page-based OLTP storage engine
+//!
+//! A real (if compact) transactional storage engine that the simulated
+//! cloud-native databases run on:
+//!
+//! * [`value`] — typed values, rows, schemas, row-image serialization.
+//! * [`slotted`] — slotted leaf pages.
+//! * [`btree`] — a clustered B+tree over fixed-size pages.
+//! * [`bufferpool`] — per-node LRU cache simulator (hits/misses/dirty).
+//! * [`locks`] — virtual-time 2PL row locks.
+//! * [`exec`] — [`ExecCtx`]: accumulates CPU demand and I/O wait while
+//!   operations execute logically for real.
+//! * [`db`] — the [`Database`] facade: tables, transactions with undo, WAL
+//!   discipline, checkpoints.
+//! * [`recovery`] — ARIES-style analysis/redo/undo and replay-from-storage.
+//! * [`sql`] — a small SQL front end for the benchmark's statement registry.
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod bufferpool;
+pub mod db;
+pub mod exec;
+pub mod locks;
+pub mod recovery;
+pub mod secondary;
+pub mod slotted;
+pub mod sql;
+pub mod value;
+
+pub use btree::{AccessLog, BTree, DuplicateKey};
+pub use bufferpool::{Access, BufferPool};
+pub use db::{Committed, Database, EngineError, TxnHandle};
+pub use exec::{CostModel, ExecCtx, ExecStats, RemoteTier};
+pub use locks::{LockTable, RowKey};
+pub use value::{ColumnDef, DataType, Row, Schema, SchemaError, Value};

@@ -1,0 +1,373 @@
+//! A slotted record layout for B+tree leaf pages.
+//!
+//! Records are `(i64 key, variable payload)` pairs. The slot directory grows
+//! downward from a configurable `base` offset (the B+tree keeps its node
+//! header above it) and payloads grow upward from the end of the page, the
+//! classic slotted-page arrangement. Slots stay sorted by key so lookups are
+//! a binary search; deletes leave payload garbage that is compacted away
+//! when space is actually needed.
+
+use cb_store::{PageBuf, PAGE_SIZE};
+
+/// Largest payload a record may carry. Keeps worst-case fan-out sane.
+pub const MAX_PAYLOAD: usize = 1024;
+
+const SLOT_BYTES: usize = 12; // key: i64, off: u16, len: u16
+const HDR_NSLOTS: usize = 0;
+const HDR_FREE_PTR: usize = 2;
+const HDR_GARBAGE: usize = 4;
+const HDR_BYTES: usize = 6;
+
+/// A view of the slotted region of a page, rooted at byte offset `base`.
+pub struct Slotted<'a> {
+    page: &'a mut PageBuf,
+    base: usize,
+}
+
+/// Returned when a record cannot fit even after compaction; the caller
+/// (B+tree) must split the page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageFull;
+
+impl<'a> Slotted<'a> {
+    /// View an already-initialized slotted region.
+    pub fn new(page: &'a mut PageBuf, base: usize) -> Self {
+        Slotted { page, base }
+    }
+
+    /// Initialize an empty slotted region at `base`.
+    pub fn init(page: &'a mut PageBuf, base: usize) -> Self {
+        let mut s = Slotted { page, base };
+        s.set_nslots(0);
+        s.set_free_ptr(PAGE_SIZE as u16);
+        s.set_garbage(0);
+        s
+    }
+
+    fn nslots_raw(&self) -> usize {
+        self.page.get_u16(self.base + HDR_NSLOTS) as usize
+    }
+
+    fn set_nslots(&mut self, n: usize) {
+        self.page.put_u16(self.base + HDR_NSLOTS, n as u16);
+    }
+
+    fn free_ptr(&self) -> usize {
+        self.page.get_u16(self.base + HDR_FREE_PTR) as usize
+    }
+
+    fn set_free_ptr(&mut self, p: u16) {
+        self.page.put_u16(self.base + HDR_FREE_PTR, p);
+    }
+
+    fn garbage(&self) -> usize {
+        self.page.get_u16(self.base + HDR_GARBAGE) as usize
+    }
+
+    fn set_garbage(&mut self, g: usize) {
+        self.page.put_u16(self.base + HDR_GARBAGE, g as u16);
+    }
+
+    fn slot_off(&self, idx: usize) -> usize {
+        self.base + HDR_BYTES + idx * SLOT_BYTES
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.nslots_raw()
+    }
+
+    /// True if no records are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Key of the record at `idx`.
+    pub fn key_at(&self, idx: usize) -> i64 {
+        debug_assert!(idx < self.len());
+        self.page.get_i64(self.slot_off(idx))
+    }
+
+    /// Payload of the record at `idx`.
+    pub fn payload_at(&self, idx: usize) -> &[u8] {
+        debug_assert!(idx < self.len());
+        let off = self.page.get_u16(self.slot_off(idx) + 8) as usize;
+        let len = self.page.get_u16(self.slot_off(idx) + 10) as usize;
+        self.page.slice(off, len)
+    }
+
+    /// Binary search: `Ok(idx)` if `key` exists, `Err(insert_pos)` otherwise.
+    pub fn find(&self, key: i64) -> Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.key_at(mid).cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Contiguous free bytes between the slot directory and the payload heap.
+    pub fn contiguous_free(&self) -> usize {
+        let dir_end = self.base + HDR_BYTES + self.len() * SLOT_BYTES;
+        self.free_ptr().saturating_sub(dir_end)
+    }
+
+    /// Free bytes recoverable by compaction.
+    pub fn total_free(&self) -> usize {
+        self.contiguous_free() + self.garbage()
+    }
+
+    /// Insert a record. `Err(PageFull)` if it cannot fit even after
+    /// compaction. Panics if `key` already exists (callers check first) or
+    /// the payload exceeds [`MAX_PAYLOAD`].
+    pub fn insert(&mut self, key: i64, payload: &[u8]) -> Result<(), PageFull> {
+        assert!(payload.len() <= MAX_PAYLOAD, "payload too large");
+        let pos = match self.find(key) {
+            Ok(_) => panic!("duplicate key {key} in slotted insert"),
+            Err(pos) => pos,
+        };
+        let need = SLOT_BYTES + payload.len();
+        if self.total_free() < need {
+            return Err(PageFull);
+        }
+        if self.contiguous_free() < need {
+            self.compact();
+            debug_assert!(self.contiguous_free() >= need);
+        }
+        // Claim payload space.
+        let off = self.free_ptr() - payload.len();
+        self.page.put_slice(off, payload);
+        self.set_free_ptr(off as u16);
+        // Shift slots [pos..) right by one.
+        let n = self.len();
+        let src = self.slot_off(pos);
+        let bytes = self.page.as_bytes_mut();
+        bytes.copy_within(src..src + (n - pos) * SLOT_BYTES, src + SLOT_BYTES);
+        // Write the new slot.
+        self.page.put_i64(src, key);
+        self.page.put_u16(src + 8, off as u16);
+        self.page.put_u16(src + 10, payload.len() as u16);
+        self.set_nslots(n + 1);
+        Ok(())
+    }
+
+    /// Remove the record at `idx`.
+    pub fn remove(&mut self, idx: usize) {
+        let n = self.len();
+        debug_assert!(idx < n);
+        let len = self.page.get_u16(self.slot_off(idx) + 10) as usize;
+        self.set_garbage(self.garbage() + len);
+        let dst = self.slot_off(idx);
+        let bytes = self.page.as_bytes_mut();
+        bytes.copy_within(dst + SLOT_BYTES..self.base + HDR_BYTES + n * SLOT_BYTES, dst);
+        self.set_nslots(n - 1);
+    }
+
+    /// Replace the payload at `idx`, in place when the size is unchanged.
+    pub fn update(&mut self, idx: usize, payload: &[u8]) -> Result<(), PageFull> {
+        assert!(payload.len() <= MAX_PAYLOAD, "payload too large");
+        let slot = self.slot_off(idx);
+        let old_len = self.page.get_u16(slot + 10) as usize;
+        if payload.len() == old_len {
+            let off = self.page.get_u16(slot + 8) as usize;
+            self.page.put_slice(off, payload);
+            return Ok(());
+        }
+        let key = self.key_at(idx);
+        // Budget check before destructive removal: after removing, we free
+        // SLOT_BYTES + old_len; the insert needs SLOT_BYTES + new payload.
+        if self.total_free() + SLOT_BYTES + old_len < SLOT_BYTES + payload.len() {
+            return Err(PageFull);
+        }
+        self.remove(idx);
+        self.insert(key, payload)
+            .expect("space was verified before removal");
+        Ok(())
+    }
+
+    /// Move the upper half of the records into `dst` (an initialized, empty
+    /// slotted region). Returns the first key now living in `dst`.
+    pub fn split_into(&mut self, dst: &mut Slotted<'_>) -> i64 {
+        let n = self.len();
+        assert!(n >= 2, "cannot split a page with < 2 records");
+        assert!(dst.is_empty(), "split destination must be empty");
+        let mid = n / 2;
+        for i in mid..n {
+            let key = self.key_at(i);
+            let payload = self.payload_at(i).to_vec();
+            dst.insert(key, &payload).expect("fresh page cannot be full");
+        }
+        // Truncate: account dead payload bytes, then drop the slots.
+        let mut dead = 0usize;
+        for i in mid..n {
+            dead += self.page.get_u16(self.slot_off(i) + 10) as usize;
+        }
+        self.set_garbage(self.garbage() + dead);
+        self.set_nslots(mid);
+        dst.key_at(0)
+    }
+
+    /// Rewrite payloads contiguously, reclaiming garbage.
+    pub fn compact(&mut self) {
+        let n = self.len();
+        let records: Vec<(i64, Vec<u8>)> = (0..n)
+            .map(|i| (self.key_at(i), self.payload_at(i).to_vec()))
+            .collect();
+        let mut free = PAGE_SIZE;
+        for (i, (key, payload)) in records.iter().enumerate() {
+            free -= payload.len();
+            self.page.put_slice(free, payload);
+            let slot = self.slot_off(i);
+            self.page.put_i64(slot, *key);
+            self.page.put_u16(slot + 8, free as u16);
+            self.page.put_u16(slot + 10, payload.len() as u16);
+        }
+        self.set_free_ptr(free as u16);
+        self.set_garbage(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> PageBuf {
+        PageBuf::zeroed()
+    }
+
+    #[test]
+    fn insert_find_get() {
+        let mut page = fresh();
+        let mut s = Slotted::init(&mut page, 16);
+        s.insert(10, b"ten").unwrap();
+        s.insert(5, b"five").unwrap();
+        s.insert(20, b"twenty").unwrap();
+        assert_eq!(s.len(), 3);
+        // Sorted order maintained.
+        assert_eq!(s.key_at(0), 5);
+        assert_eq!(s.key_at(1), 10);
+        assert_eq!(s.key_at(2), 20);
+        assert_eq!(s.find(10), Ok(1));
+        assert_eq!(s.find(11), Err(2));
+        assert_eq!(s.payload_at(0), b"five");
+    }
+
+    #[test]
+    fn remove_shifts_slots() {
+        let mut page = fresh();
+        let mut s = Slotted::init(&mut page, 16);
+        for k in 0..5 {
+            s.insert(k, &[k as u8; 4]).unwrap();
+        }
+        s.remove(2);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.find(2), Err(2));
+        assert_eq!(s.key_at(2), 3);
+        assert_eq!(s.payload_at(2), &[3u8; 4]);
+    }
+
+    #[test]
+    fn update_in_place_and_resize() {
+        let mut page = fresh();
+        let mut s = Slotted::init(&mut page, 16);
+        s.insert(1, b"abcd").unwrap();
+        s.update(0, b"wxyz").unwrap();
+        assert_eq!(s.payload_at(0), b"wxyz");
+        // Different size forces relocation but keeps the key.
+        s.update(0, b"longer-payload").unwrap();
+        assert_eq!(s.payload_at(0), b"longer-payload");
+        assert_eq!(s.key_at(0), 1);
+    }
+
+    #[test]
+    fn fills_up_then_reports_full() {
+        let mut page = fresh();
+        let mut s = Slotted::init(&mut page, 16);
+        let payload = [0u8; 100];
+        let mut inserted = 0i64;
+        while s.insert(inserted, &payload).is_ok() {
+            inserted += 1;
+        }
+        // ~ (8192-22) / 112 ≈ 72 records.
+        assert!(inserted > 60, "inserted = {inserted}");
+        assert_eq!(s.len() as i64, inserted);
+        // All still readable.
+        for k in 0..inserted {
+            assert_eq!(s.find(k), Ok(k as usize));
+        }
+    }
+
+    #[test]
+    fn compaction_reclaims_garbage() {
+        let mut page = fresh();
+        let mut s = Slotted::init(&mut page, 16);
+        let payload = [7u8; 200];
+        let mut n = 0i64;
+        while s.insert(n, &payload).is_ok() {
+            n += 1;
+        }
+        // Delete every other record, then inserts must succeed again via
+        // compaction.
+        for i in (0..n as usize).rev().step_by(2) {
+            s.remove(i);
+        }
+        let before = s.len();
+        let mut added = 0;
+        while s.insert(n + added, &payload).is_ok() {
+            added += 1;
+        }
+        assert!(added as usize >= before / 2, "added = {added}");
+        // Verify integrity post-compaction.
+        for i in 0..s.len() {
+            assert_eq!(s.payload_at(i), &payload);
+        }
+    }
+
+    #[test]
+    fn split_moves_upper_half() {
+        let mut left_page = fresh();
+        let mut right_page = fresh();
+        let mut left = Slotted::init(&mut left_page, 16);
+        for k in 0..10 {
+            left.insert(k, format!("v{k}").as_bytes()).unwrap();
+        }
+        let mut right = Slotted::init(&mut right_page, 16);
+        let sep = left.split_into(&mut right);
+        assert_eq!(sep, 5);
+        assert_eq!(left.len(), 5);
+        assert_eq!(right.len(), 5);
+        assert_eq!(left.key_at(4), 4);
+        assert_eq!(right.key_at(0), 5);
+        assert_eq!(right.payload_at(0), b"v5");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_insert_panics() {
+        let mut page = fresh();
+        let mut s = Slotted::init(&mut page, 16);
+        s.insert(1, b"a").unwrap();
+        s.insert(1, b"b").unwrap();
+    }
+
+    #[test]
+    fn update_full_page_to_larger_payload_errors() {
+        let mut page = fresh();
+        let mut s = Slotted::init(&mut page, 16);
+        let payload = [0u8; 100];
+        let mut n = 0i64;
+        while s.insert(n, &payload).is_ok() {
+            n += 1;
+        }
+        // Growing a record on a packed page must fail cleanly, not corrupt.
+        let err = s.update(0, &[0u8; 900]);
+        assert_eq!(err, Err(PageFull));
+        assert_eq!(s.len() as i64, n);
+        assert_eq!(s.payload_at(0), &payload);
+    }
+}

@@ -1,0 +1,404 @@
+//! Recursive-descent parser for the benchmark's SQL dialect.
+//!
+//! The dialect covers exactly the statement shapes of the CloudyBench
+//! workload (paper Table II) plus what the extensibility story needs:
+//! single-table INSERT/SELECT/UPDATE/DELETE with a `WHERE <col> = <expr>`
+//! point predicate and `+` arithmetic in values.
+
+use std::fmt;
+
+use super::lexer::{lex, LexError, Token, TokenKind};
+
+/// A scalar expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `?` placeholder, numbered left-to-right from 0 within a statement.
+    Param(usize),
+    /// The `DEFAULT` keyword (auto-assigned key).
+    Default,
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Column reference (resolved at bind time).
+    Column(String),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+}
+
+/// One `col = expr` assignment in an UPDATE.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assign {
+    /// Target column name.
+    pub column: String,
+    /// Value expression.
+    pub value: Expr,
+}
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ast {
+    /// `INSERT INTO t VALUES (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// One expression per column.
+        values: Vec<Expr>,
+    },
+    /// `SELECT cols FROM t WHERE col = expr`
+    Select {
+        /// Target table.
+        table: String,
+        /// Projected columns (`None` = `*`).
+        columns: Option<Vec<String>>,
+        /// Predicate column.
+        key_column: String,
+        /// Predicate value.
+        key: Expr,
+    },
+    /// `UPDATE t SET a=.., b=.. WHERE col = expr`
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<Assign>,
+        /// Predicate column.
+        key_column: String,
+        /// Predicate value.
+        key: Expr,
+    },
+    /// `DELETE FROM t WHERE col = expr`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Predicate column.
+        key_column: String,
+        /// Predicate value.
+        key: Expr,
+    },
+}
+
+/// A parse failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset (best effort).
+    pub pos: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+    params: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.i).map(|t| &t.kind)
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens
+            .get(self.i)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.i).map(|t| t.kind.clone());
+        self.i += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            pos: self.pos(),
+        })
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => self.err(format!("expected keyword {kw}, found {other:?}")),
+        }
+    }
+
+    fn try_kw(&mut self, kw: &str) -> bool {
+        if let Some(TokenKind::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.i += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(k) if k == *kind => Ok(()),
+            other => self.err(format!("expected {kind}, found {other:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(TokenKind::Question) => {
+                let n = self.params;
+                self.params += 1;
+                Ok(Expr::Param(n))
+            }
+            Some(TokenKind::Int(v)) => Ok(Expr::Int(v)),
+            Some(TokenKind::Str(s)) => Ok(Expr::Str(s)),
+            Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("DEFAULT") => Ok(Expr::Default),
+            Some(TokenKind::Ident(s)) => Ok(Expr::Column(s)),
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        while self.peek() == Some(&TokenKind::Plus) {
+            self.i += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn where_clause(&mut self) -> Result<(String, Expr), ParseError> {
+        self.expect_kw("WHERE")?;
+        let col = self.ident()?;
+        self.expect(&TokenKind::Eq)?;
+        let key = self.expr()?;
+        Ok((col, key))
+    }
+
+    fn end(&self) -> Result<(), ParseError> {
+        if self.i == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("trailing tokens starting with {:?}", self.peek()),
+                pos: self.pos(),
+            })
+        }
+    }
+
+    fn statement(&mut self) -> Result<Ast, ParseError> {
+        if self.try_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident()?;
+            self.expect_kw("VALUES")?;
+            self.expect(&TokenKind::LParen)?;
+            let mut values = vec![self.expr()?];
+            while self.peek() == Some(&TokenKind::Comma) {
+                self.i += 1;
+                values.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            self.end()?;
+            return Ok(Ast::Insert { table, values });
+        }
+        if self.try_kw("SELECT") {
+            let columns = if self.peek() == Some(&TokenKind::Star) {
+                self.i += 1;
+                None
+            } else {
+                let mut cols = vec![self.ident()?];
+                while self.peek() == Some(&TokenKind::Comma) {
+                    self.i += 1;
+                    cols.push(self.ident()?);
+                }
+                Some(cols)
+            };
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let (key_column, key) = self.where_clause()?;
+            self.end()?;
+            return Ok(Ast::Select {
+                table,
+                columns,
+                key_column,
+                key,
+            });
+        }
+        if self.try_kw("UPDATE") {
+            let table = self.ident()?;
+            self.expect_kw("SET")?;
+            let mut sets = Vec::new();
+            loop {
+                let column = self.ident()?;
+                self.expect(&TokenKind::Eq)?;
+                let value = self.expr()?;
+                sets.push(Assign { column, value });
+                if self.peek() == Some(&TokenKind::Comma) {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            let (key_column, key) = self.where_clause()?;
+            self.end()?;
+            return Ok(Ast::Update {
+                table,
+                sets,
+                key_column,
+                key,
+            });
+        }
+        if self.try_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let (key_column, key) = self.where_clause()?;
+            self.end()?;
+            return Ok(Ast::Delete {
+                table,
+                key_column,
+                key,
+            });
+        }
+        self.err("expected INSERT, SELECT, UPDATE, or DELETE")
+    }
+}
+
+/// Parse one statement.
+pub fn parse(src: &str) -> Result<Ast, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        i: 0,
+        params: 0,
+    };
+    p.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_t1_new_orderline() {
+        let ast = parse("INSERT INTO orderline VALUES (DEFAULT, ?,?,?,?)").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Insert {
+                table: "orderline".into(),
+                values: vec![
+                    Expr::Default,
+                    Expr::Param(0),
+                    Expr::Param(1),
+                    Expr::Param(2),
+                    Expr::Param(3)
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_t2_statements() {
+        let s1 = parse(
+            "SELECT O_ID, O_C_ID, O_TOTALAMOUNT, O_UPDATEDDATE FROM orders WHERE O_ID=?",
+        )
+        .unwrap();
+        match s1 {
+            Ast::Select { columns: Some(cols), key_column, key, .. } => {
+                assert_eq!(cols.len(), 4);
+                assert_eq!(key_column, "O_ID");
+                assert_eq!(key, Expr::Param(0));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        let s2 = parse("UPDATE orders SET O_UPDATEDDATE=?, O_STATUS='PAID' WHERE O_ID=?").unwrap();
+        match s2 {
+            Ast::Update { sets, key, .. } => {
+                assert_eq!(sets[0].value, Expr::Param(0));
+                assert_eq!(sets[1].value, Expr::Str("PAID".into()));
+                assert_eq!(key, Expr::Param(1), "params number left to right");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        let s3 =
+            parse("UPDATE customer SET C_CREDIT=C_CREDIT+?, C_UPDATEDDATE=? WHERE C_ID=?").unwrap();
+        match s3 {
+            Ast::Update { sets, .. } => {
+                assert_eq!(
+                    sets[0].value,
+                    Expr::Add(
+                        Box::new(Expr::Column("C_CREDIT".into())),
+                        Box::new(Expr::Param(0))
+                    )
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_t3_and_t4() {
+        assert!(matches!(
+            parse("SELECT O_ID, O_DATE, O_STATUS FROM orders WHERE O_ID = ?").unwrap(),
+            Ast::Select { .. }
+        ));
+        assert_eq!(
+            parse("DELETE FROM orderline WHERE OL_ID=?").unwrap(),
+            Ast::Delete {
+                table: "orderline".into(),
+                key_column: "OL_ID".into(),
+                key: Expr::Param(0),
+            }
+        );
+    }
+
+    #[test]
+    fn select_star() {
+        match parse("SELECT * FROM customer WHERE C_ID = 5").unwrap() {
+            Ast::Select { columns: None, key, .. } => assert_eq!(key, Expr::Int(5)),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("select o_id from orders where o_id = ?").is_ok());
+        assert!(parse("Insert Into t Values (1, 2)").is_ok());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("SELECT a FROM t").is_err(), "WHERE is mandatory");
+        assert!(parse("INSERT INTO t VALUES (1,)").is_err());
+        assert!(parse("SELECT a FROM t WHERE a = ? extra").is_err());
+        let e = parse("UPDATE t SET WHERE a=1").unwrap_err();
+        assert!(e.message.contains("expected"), "{e}");
+    }
+}

@@ -1,0 +1,363 @@
+//! Typed values, rows, schemas, and their byte-level serialization.
+//!
+//! Rows are serialized into compact byte images for three consumers: B+tree
+//! leaf payloads, WAL before/after images, and log-shipping volume
+//! accounting. The format is self-describing (a tag byte per value) so a
+//! decoded image never needs the schema to round-trip.
+
+use std::fmt;
+
+/// The type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer (also used for keys and credit amounts in cents).
+    Int,
+    /// Variable-length UTF-8 string.
+    Text,
+    /// Timestamp as microseconds since the epoch.
+    Timestamp,
+}
+
+/// A single typed value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// UTF-8 string.
+    Text(String),
+    /// Timestamp (microseconds since epoch).
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Text(_) => DataType::Text,
+            Value::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    /// The integer inside, panicking with context otherwise (engine-internal
+    /// use where the schema guarantees the type).
+    pub fn expect_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// The string inside, panicking otherwise.
+    pub fn expect_text(&self) -> &str {
+        match self {
+            Value::Text(s) => s,
+            other => panic!("expected Text, found {other:?}"),
+        }
+    }
+
+    /// The timestamp inside, panicking otherwise.
+    pub fn expect_timestamp(&self) -> i64 {
+        match self {
+            Value::Timestamp(v) => *v,
+            other => panic!("expected Timestamp, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Timestamp(v) => write!(f, "ts:{v}"),
+        }
+    }
+}
+
+/// One column of a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (upper-cased by convention, e.g. `O_ID`).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: &str, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+/// An ordered set of columns. Column 0 is always the `Int` primary key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema; panics unless column 0 is an `Int` (the clustered key).
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        assert!(!columns.is_empty(), "schema needs at least the key column");
+        assert_eq!(
+            columns[0].ty,
+            DataType::Int,
+            "column 0 must be the Int primary key"
+        );
+        Schema { columns }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Always false (a schema has at least the key column).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the column named `name` (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Check that `row` conforms to this schema.
+    pub fn validate(&self, row: &Row) -> Result<(), SchemaError> {
+        if row.values.len() != self.columns.len() {
+            return Err(SchemaError::Arity {
+                expected: self.columns.len(),
+                found: row.values.len(),
+            });
+        }
+        for (i, (v, c)) in row.values.iter().zip(&self.columns).enumerate() {
+            if v.data_type() != c.ty {
+                return Err(SchemaError::Type {
+                    column: i,
+                    expected: c.ty,
+                    found: v.data_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A schema violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Wrong number of values.
+    Arity {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values in the row.
+        found: usize,
+    },
+    /// Wrong type in a column.
+    Type {
+        /// Offending column index.
+        column: usize,
+        /// Declared type.
+        expected: DataType,
+        /// Provided type.
+        found: DataType,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Arity { expected, found } => {
+                write!(f, "row has {found} values, schema has {expected} columns")
+            }
+            SchemaError::Type {
+                column,
+                expected,
+                found,
+            } => write!(f, "column {column}: expected {expected:?}, found {found:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A row of values. The first value is the primary key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// The values, aligned with the schema's columns.
+    pub values: Vec<Value>,
+}
+
+const TAG_INT: u8 = 1;
+const TAG_TEXT: u8 = 2;
+const TAG_TS: u8 = 3;
+
+impl Row {
+    /// A row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// The primary key (column 0).
+    pub fn key(&self) -> i64 {
+        self.values[0].expect_int()
+    }
+
+    /// Serialize to a compact, self-describing byte image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.values.len() * 9);
+        out.push(self.values.len() as u8);
+        for v in &self.values {
+            match v {
+                Value::Int(x) => {
+                    out.push(TAG_INT);
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                Value::Text(s) => {
+                    assert!(s.len() <= u16::MAX as usize, "text too long");
+                    out.push(TAG_TEXT);
+                    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+                Value::Timestamp(x) => {
+                    out.push(TAG_TS);
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode an image produced by [`Row::encode`]. Panics on corruption —
+    /// an image in the engine is always trusted.
+    pub fn decode(bytes: &[u8]) -> Row {
+        let n = bytes[0] as usize;
+        let mut values = Vec::with_capacity(n);
+        let mut i = 1usize;
+        for _ in 0..n {
+            let tag = bytes[i];
+            i += 1;
+            match tag {
+                TAG_INT => {
+                    values.push(Value::Int(i64::from_le_bytes(
+                        bytes[i..i + 8].try_into().unwrap(),
+                    )));
+                    i += 8;
+                }
+                TAG_TEXT => {
+                    let len = u16::from_le_bytes(bytes[i..i + 2].try_into().unwrap()) as usize;
+                    i += 2;
+                    let s = std::str::from_utf8(&bytes[i..i + len])
+                        .expect("corrupt text value")
+                        .to_string();
+                    values.push(Value::Text(s));
+                    i += len;
+                }
+                TAG_TS => {
+                    values.push(Value::Timestamp(i64::from_le_bytes(
+                        bytes[i..i + 8].try_into().unwrap(),
+                    )));
+                    i += 8;
+                }
+                other => panic!("corrupt row image: unknown tag {other}"),
+            }
+        }
+        Row { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> Row {
+        Row::new(vec![
+            Value::Int(42),
+            Value::Text("PAID".to_string()),
+            Value::Timestamp(1_700_000_000_000_000),
+            Value::Int(-5),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let row = sample_row();
+        assert_eq!(Row::decode(&row.encode()), row);
+    }
+
+    #[test]
+    fn empty_text_round_trips() {
+        let row = Row::new(vec![Value::Int(1), Value::Text(String::new())]);
+        assert_eq!(Row::decode(&row.encode()), row);
+    }
+
+    #[test]
+    fn key_is_column_zero() {
+        assert_eq!(sample_row().key(), 42);
+    }
+
+    #[test]
+    fn schema_validation() {
+        let schema = Schema::new(vec![
+            ColumnDef::new("O_ID", DataType::Int),
+            ColumnDef::new("O_STATUS", DataType::Text),
+        ]);
+        let good = Row::new(vec![Value::Int(1), Value::Text("NEW".into())]);
+        assert!(schema.validate(&good).is_ok());
+
+        let arity = Row::new(vec![Value::Int(1)]);
+        assert!(matches!(
+            schema.validate(&arity),
+            Err(SchemaError::Arity { expected: 2, found: 1 })
+        ));
+
+        let ty = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        assert!(matches!(
+            schema.validate(&ty),
+            Err(SchemaError::Type { column: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let schema = Schema::new(vec![
+            ColumnDef::new("O_ID", DataType::Int),
+            ColumnDef::new("O_STATUS", DataType::Text),
+        ]);
+        assert_eq!(schema.column_index("o_status"), Some(1));
+        assert_eq!(schema.column_index("O_ID"), Some(0));
+        assert_eq!(schema.column_index("NOPE"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "column 0 must be the Int primary key")]
+    fn schema_requires_int_key() {
+        let _ = Schema::new(vec![ColumnDef::new("NAME", DataType::Text)]);
+    }
+
+    #[test]
+    fn expect_helpers_panic_with_context() {
+        let v = Value::Text("x".into());
+        let r = std::panic::catch_unwind(|| v.expect_int());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn encoded_size_tracks_content() {
+        let small = Row::new(vec![Value::Int(1)]).encode();
+        let big = Row::new(vec![Value::Int(1), Value::Text("x".repeat(100))]).encode();
+        assert!(big.len() > small.len() + 99);
+    }
+}

@@ -1,0 +1,375 @@
+//! Time-series recorders and summary statistics for the performance collector.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Counts discrete events (e.g. transaction commits) into fixed-width slots
+/// and reports per-slot and average rates.
+#[derive(Clone, Debug)]
+pub struct TpsRecorder {
+    slot: SimDuration,
+    counts: Vec<u64>,
+}
+
+impl TpsRecorder {
+    /// A recorder with `slot`-wide buckets (must be non-zero).
+    pub fn new(slot: SimDuration) -> Self {
+        assert!(!slot.is_zero(), "slot width must be positive");
+        TpsRecorder { slot, counts: Vec::new() }
+    }
+
+    /// A recorder with one-second buckets.
+    pub fn per_second() -> Self {
+        TpsRecorder::new(SimDuration::from_secs(1))
+    }
+
+    /// Record one event at `at`.
+    pub fn record(&mut self, at: SimTime) {
+        let idx = (at.as_nanos() / self.slot.as_nanos()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Events per second in each slot.
+    pub fn rate_series(&self) -> Vec<f64> {
+        let secs = self.slot.as_secs_f64();
+        self.counts.iter().map(|c| *c as f64 / secs).collect()
+    }
+
+    /// Raw per-slot counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Average rate (events/sec) over `[from, to)`.
+    pub fn avg_rate(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.saturating_since(from);
+        if span.is_zero() {
+            return 0.0;
+        }
+        let lo = (from.as_nanos() / self.slot.as_nanos()) as usize;
+        let hi = to.as_nanos().div_ceil(self.slot.as_nanos()) as usize;
+        let total: u64 = self
+            .counts
+            .iter()
+            .skip(lo)
+            .take(hi.saturating_sub(lo))
+            .sum();
+        total as f64 / span.as_secs_f64()
+    }
+
+    /// The first slot index (if any) whose rate reaches `rate`, at or after
+    /// slot `from_slot`. Used by the fail-over evaluator to find recovery
+    /// points.
+    pub fn first_slot_at_rate(&self, from_slot: usize, rate: f64) -> Option<usize> {
+        let secs = self.slot.as_secs_f64();
+        self.counts
+            .iter()
+            .enumerate()
+            .skip(from_slot)
+            .find(|(_, c)| **c as f64 / secs >= rate)
+            .map(|(i, _)| i)
+    }
+
+    /// Width of one slot.
+    pub fn slot(&self) -> SimDuration {
+        self.slot
+    }
+}
+
+/// A right-continuous step function of time (e.g. allocated vCores).
+#[derive(Clone, Debug, Default)]
+pub struct GaugeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl GaugeSeries {
+    /// An empty gauge (value undefined before the first set).
+    pub fn new() -> Self {
+        GaugeSeries::default()
+    }
+
+    /// A gauge with an initial value at t=0.
+    pub fn starting_at(value: f64) -> Self {
+        GaugeSeries {
+            points: vec![(SimTime::ZERO, value)],
+        }
+    }
+
+    /// Record that the gauge changed to `value` at `at`. Out-of-order updates
+    /// are rejected in debug builds.
+    pub fn set(&mut self, at: SimTime, value: f64) {
+        if let Some((last, _)) = self.points.last() {
+            debug_assert!(*last <= at, "gauge updates must be time-ordered");
+        }
+        // Collapse same-instant updates: the last writer wins.
+        if let Some(last) = self.points.last_mut() {
+            if last.0 == at {
+                last.1 = value;
+                return;
+            }
+        }
+        self.points.push((at, value));
+    }
+
+    /// The gauge value at `at` (the most recent set at or before `at`).
+    pub fn value_at(&self, at: SimTime) -> f64 {
+        match self.points.binary_search_by(|(t, _)| t.cmp(&at)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Integral of the gauge over `[from, to)` in value-seconds.
+    pub fn integral(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from || self.points.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut cursor = from;
+        let mut value = self.value_at(from);
+        for (t, v) in &self.points {
+            if *t <= cursor {
+                continue;
+            }
+            if *t >= to {
+                break;
+            }
+            acc += value * (*t - cursor).as_secs_f64();
+            cursor = *t;
+            value = *v;
+        }
+        acc += value * to.saturating_since(cursor).as_secs_f64();
+        acc
+    }
+
+    /// Maximum value attained in `[from, to]` (including the value carried
+    /// into the window).
+    pub fn max_in(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut m = self.value_at(from);
+        for (t, v) in &self.points {
+            if *t > from && *t <= to {
+                m = m.max(*v);
+            }
+        }
+        m
+    }
+
+    /// Minimum value attained in `[from, to]`.
+    pub fn min_in(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut m = self.value_at(from);
+        for (t, v) in &self.points {
+            if *t > from && *t <= to {
+                m = m.min(*v);
+            }
+        }
+        m
+    }
+
+    /// All recorded change points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Sample the gauge at a fixed `step`, producing `n` values starting at
+    /// `from` (used to print figure series).
+    pub fn sample(&self, from: SimTime, step: SimDuration, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| self.value_at(from + step * i as u64))
+            .collect()
+    }
+}
+
+/// A fixed-size uniform reservoir sampler (Vitter's algorithm R) for
+/// percentile estimation over unbounded streams — per-transaction latencies
+/// in a multi-minute run would not fit in memory otherwise.
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    samples: Vec<f64>,
+    state: u64,
+}
+
+impl Reservoir {
+    /// A reservoir keeping at most `cap` samples (min 1).
+    pub fn new(cap: usize) -> Self {
+        Reservoir {
+            cap: cap.max(1),
+            seen: 0,
+            samples: Vec::new(),
+            state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: deterministic, cheap, good enough for sampling.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Offer one observation.
+    pub fn offer(&mut self, v: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(v);
+        } else {
+            let j = self.next_u64() % self.seen;
+            if (j as usize) < self.cap {
+                self.samples[j as usize] = v;
+            }
+        }
+    }
+
+    /// Observations offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Estimated `p`-th percentile (0..=100) of the stream.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile(&self.samples, p)
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean; 0.0 for an empty slice or any non-positive element.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|x| *x <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// The `p`-th percentile (0..=100) by nearest-rank on a copy of `xs`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tps_buckets_and_average() {
+        let mut r = TpsRecorder::per_second();
+        for i in 0..10 {
+            r.record(SimTime::from_millis(i * 100)); // 10 events in second 0
+        }
+        for i in 0..5 {
+            r.record(SimTime::from_millis(1000 + i * 100)); // 5 in second 1
+        }
+        assert_eq!(r.total(), 15);
+        assert_eq!(r.rate_series(), vec![10.0, 5.0]);
+        let avg = r.avg_rate(SimTime::ZERO, SimTime::from_secs(2));
+        assert!((avg - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_slot_at_rate_finds_recovery() {
+        let mut r = TpsRecorder::per_second();
+        // second 0 busy, seconds 1-2 dead, second 3 recovers.
+        for _ in 0..100 {
+            r.record(SimTime::from_millis(500));
+        }
+        for _ in 0..90 {
+            r.record(SimTime::from_millis(3500));
+        }
+        assert_eq!(r.first_slot_at_rate(1, 1.0), Some(3));
+        assert_eq!(r.first_slot_at_rate(1, 95.0), None);
+    }
+
+    #[test]
+    fn gauge_value_and_integral() {
+        let mut g = GaugeSeries::starting_at(4.0);
+        g.set(SimTime::from_secs(10), 2.0);
+        g.set(SimTime::from_secs(20), 0.0);
+        assert_eq!(g.value_at(SimTime::from_secs(5)), 4.0);
+        assert_eq!(g.value_at(SimTime::from_secs(10)), 2.0);
+        assert_eq!(g.value_at(SimTime::from_secs(25)), 0.0);
+        // 4*10 + 2*10 + 0*10 = 60 value-seconds.
+        let integral = g.integral(SimTime::ZERO, SimTime::from_secs(30));
+        assert!((integral - 60.0).abs() < 1e-9);
+        // Partial window: [5, 15) = 4*5 + 2*5 = 30.
+        let partial = g.integral(SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!((partial - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_min_max_and_sampling() {
+        let mut g = GaugeSeries::starting_at(1.0);
+        g.set(SimTime::from_secs(60), 3.25);
+        g.set(SimTime::from_secs(120), 0.5);
+        assert_eq!(g.max_in(SimTime::ZERO, SimTime::from_secs(180)), 3.25);
+        assert_eq!(g.min_in(SimTime::ZERO, SimTime::from_secs(180)), 0.5);
+        let samples = g.sample(SimTime::ZERO, SimDuration::from_secs(60), 3);
+        assert_eq!(samples, vec![1.0, 3.25, 0.5]);
+    }
+
+    #[test]
+    fn gauge_same_instant_last_writer_wins() {
+        let mut g = GaugeSeries::new();
+        g.set(SimTime::from_secs(1), 1.0);
+        g.set(SimTime::from_secs(1), 2.0);
+        assert_eq!(g.value_at(SimTime::from_secs(1)), 2.0);
+        assert_eq!(g.points().len(), 1);
+    }
+
+    #[test]
+    fn reservoir_small_stream_is_exact() {
+        let mut r = Reservoir::new(100);
+        for i in 1..=50 {
+            r.offer(i as f64);
+        }
+        assert_eq!(r.seen(), 50);
+        assert_eq!(r.percentile(100.0), 50.0);
+        assert_eq!(r.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn reservoir_large_stream_estimates() {
+        let mut r = Reservoir::new(500);
+        for i in 0..100_000 {
+            r.offer((i % 1000) as f64);
+        }
+        let p50 = r.percentile(50.0);
+        assert!((300.0..700.0).contains(&p50), "p50 = {p50}");
+        let p99 = r.percentile(99.0);
+        assert!(p99 > 900.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 50.0), 3.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

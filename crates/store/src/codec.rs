@@ -1,0 +1,338 @@
+//! Physical WAL record serialization.
+//!
+//! Log shipping moves bytes, not Rust structs: this codec gives every
+//! [`WalRecord`] a framed on-wire form — a length header, a CRC-32 of the
+//! body, and a tagged payload — so shipped segments can be validated on the
+//! receiving side and torn tails (a crash mid-append) are detected rather
+//! than misread. [`WalRecord::approx_bytes`] estimates the same sizes for
+//! the fast path; the codec is the ground truth when bytes actually move.
+
+use std::fmt;
+
+use crate::wal::{Lsn, TableId, TxnId, WalOp, WalRecord};
+
+/// A decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended mid-record (torn tail).
+    Truncated,
+    /// Body bytes do not match their checksum.
+    BadChecksum {
+        /// Offset of the corrupt frame.
+        offset: usize,
+    },
+    /// Unknown operation tag.
+    UnknownTag(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated WAL frame"),
+            CodecError::BadChecksum { offset } => {
+                write!(f, "WAL checksum mismatch at byte {offset}")
+            }
+            CodecError::UnknownTag(t) => write!(f, "unknown WAL op tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// CRC-32 (IEEE), bitwise — fast enough for log frames and dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+const TAG_DELETE: u8 = 4;
+const TAG_COMMIT: u8 = 5;
+const TAG_ABORT: u8 = 6;
+const TAG_CHECKPOINT: u8 = 7;
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn body(rec: &WalRecord) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    b.extend_from_slice(&rec.lsn.0.to_le_bytes());
+    b.extend_from_slice(&rec.txn.0.to_le_bytes());
+    match &rec.op {
+        WalOp::Begin => b.push(TAG_BEGIN),
+        WalOp::Insert { table, key, row } => {
+            b.push(TAG_INSERT);
+            b.extend_from_slice(&table.0.to_le_bytes());
+            b.extend_from_slice(&key.to_le_bytes());
+            put_bytes(&mut b, row);
+        }
+        WalOp::Update {
+            table,
+            key,
+            before,
+            after,
+        } => {
+            b.push(TAG_UPDATE);
+            b.extend_from_slice(&table.0.to_le_bytes());
+            b.extend_from_slice(&key.to_le_bytes());
+            put_bytes(&mut b, before);
+            put_bytes(&mut b, after);
+        }
+        WalOp::Delete { table, key, before } => {
+            b.push(TAG_DELETE);
+            b.extend_from_slice(&table.0.to_le_bytes());
+            b.extend_from_slice(&key.to_le_bytes());
+            put_bytes(&mut b, before);
+        }
+        WalOp::Commit => b.push(TAG_COMMIT),
+        WalOp::Abort => b.push(TAG_ABORT),
+        WalOp::Checkpoint { dirty_pages } => {
+            b.push(TAG_CHECKPOINT);
+            b.extend_from_slice(&dirty_pages.to_le_bytes());
+        }
+    }
+    b
+}
+
+/// Encode one record as a framed byte sequence.
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let body = body(rec);
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+/// Decode one framed record starting at `offset`; returns the record and
+/// the offset just past it.
+pub fn decode_record(bytes: &[u8], offset: usize) -> Result<(WalRecord, usize), CodecError> {
+    let mut r = Reader { bytes, pos: offset };
+    let body_len = r.u32()? as usize;
+    let crc = r.u32()?;
+    let body = r.take(body_len)?;
+    if crc32(body) != crc {
+        return Err(CodecError::BadChecksum { offset });
+    }
+    let end = r.pos;
+    let mut b = Reader { bytes: body, pos: 0 };
+    let lsn = Lsn(b.u64()?);
+    let txn = TxnId(b.u64()?);
+    let tag = b.take(1)?[0];
+    let op = match tag {
+        TAG_BEGIN => WalOp::Begin,
+        TAG_INSERT => WalOp::Insert {
+            table: TableId(b.u16()?),
+            key: b.i64()?,
+            row: b.blob()?,
+        },
+        TAG_UPDATE => WalOp::Update {
+            table: TableId(b.u16()?),
+            key: b.i64()?,
+            before: b.blob()?,
+            after: b.blob()?,
+        },
+        TAG_DELETE => WalOp::Delete {
+            table: TableId(b.u16()?),
+            key: b.i64()?,
+            before: b.blob()?,
+        },
+        TAG_COMMIT => WalOp::Commit,
+        TAG_ABORT => WalOp::Abort,
+        TAG_CHECKPOINT => WalOp::Checkpoint {
+            dirty_pages: b.u64()?,
+        },
+        other => return Err(CodecError::UnknownTag(other)),
+    };
+    Ok((WalRecord { lsn, txn, op }, end))
+}
+
+/// Encode a run of records into one shipped segment.
+pub fn encode_segment(records: &[WalRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        out.extend_from_slice(&encode_record(r));
+    }
+    out
+}
+
+/// Decode a whole segment. A clean torn tail (truncated final frame) is
+/// reported as an error; callers that tolerate torn tails can decode
+/// frame-by-frame with [`decode_record`].
+pub fn decode_segment(bytes: &[u8]) -> Result<Vec<WalRecord>, CodecError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let (rec, next) = decode_record(bytes, pos)?;
+        out.push(rec);
+        pos = next;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<WalRecord> {
+        vec![
+            WalRecord {
+                lsn: Lsn(1),
+                txn: TxnId(9),
+                op: WalOp::Begin,
+            },
+            WalRecord {
+                lsn: Lsn(2),
+                txn: TxnId(9),
+                op: WalOp::Insert {
+                    table: TableId(2),
+                    key: -42,
+                    row: vec![1, 2, 3, 4, 5],
+                },
+            },
+            WalRecord {
+                lsn: Lsn(3),
+                txn: TxnId(9),
+                op: WalOp::Update {
+                    table: TableId(2),
+                    key: 7,
+                    before: vec![],
+                    after: vec![0xFF; 300],
+                },
+            },
+            WalRecord {
+                lsn: Lsn(4),
+                txn: TxnId(9),
+                op: WalOp::Delete {
+                    table: TableId(1),
+                    key: i64::MAX,
+                    before: vec![9],
+                },
+            },
+            WalRecord {
+                lsn: Lsn(5),
+                txn: TxnId(9),
+                op: WalOp::Commit,
+            },
+            WalRecord {
+                lsn: Lsn(6),
+                txn: TxnId(0),
+                op: WalOp::Checkpoint { dirty_pages: 123 },
+            },
+            WalRecord {
+                lsn: Lsn(7),
+                txn: TxnId(10),
+                op: WalOp::Abort,
+            },
+        ]
+    }
+
+    #[test]
+    fn segment_round_trip() {
+        let records = sample();
+        let bytes = encode_segment(&records);
+        assert_eq!(decode_segment(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn torn_tail_is_detected() {
+        let bytes = encode_segment(&sample());
+        for cut in [bytes.len() - 1, bytes.len() - 5, 3] {
+            let err = decode_segment(&bytes[..cut]).unwrap_err();
+            assert_eq!(err, CodecError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = encode_segment(&sample());
+        // Flip a byte inside the second frame's body.
+        let (_, first_end) = decode_record(&bytes, 0).unwrap();
+        bytes[first_end + 12] ^= 0x40;
+        let err = decode_segment(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::BadChecksum { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        // Hand-build a frame with tag 99.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(99);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        assert_eq!(decode_segment(&frame).unwrap_err(), CodecError::UnknownTag(99));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn wire_size_tracks_approx_bytes() {
+        for rec in sample() {
+            let wire = encode_record(&rec).len() as u64;
+            let approx = rec.approx_bytes();
+            // The estimate is within a small constant of the real frame.
+            assert!(
+                wire.abs_diff(approx) <= 24,
+                "{:?}: wire {wire} vs approx {approx}",
+                rec.op
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # cb-store — disaggregated storage substrate
+//!
+//! The durable half of the simulated cloud-native databases:
+//!
+//! * [`page`] — fixed 8 KB pages, little-endian accessors, and the canonical
+//!   [`PageStore`] that owns page content for the whole cluster.
+//! * [`wal`] — logical WAL records with before/after images, the append-only
+//!   [`LogStore`] with checkpoint truncation.
+//! * [`service`] — [`StorageService`]: the cost model of each storage
+//!   topology (coupled, smart storage with redo pushdown, log/page split,
+//!   safekeeper+pageserver, memory disaggregation).
+//! * [`codec`] — framed, checksummed on-wire WAL serialization (what log
+//!   shipping actually moves; detects torn tails and corruption).
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod page;
+pub mod service;
+pub mod wal;
+
+pub use codec::{crc32, decode_record, decode_segment, encode_record, encode_segment, CodecError};
+pub use page::{PageBuf, PageId, PageStore, PAGE_SIZE};
+pub use service::{StorageArch, StorageService};
+pub use wal::{LogStore, Lsn, TableId, TxnId, WalOp, WalRecord};

@@ -1,0 +1,306 @@
+//! Write-ahead log records and the log store.
+//!
+//! WAL records carry *logical* before/after images, which serves three
+//! masters at once: ARIES-style recovery can redo and undo them, replicas
+//! can replay them (and the lag-time evaluator can watch a specific change
+//! become visible), and storage services that push redo processing down
+//! (Aurora-style) can count exactly how much replay work moved off the
+//! compute tier.
+
+use std::fmt;
+
+/// Transaction identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TxnId(pub u64);
+
+/// Table identifier (assigned by the engine catalog).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TableId(pub u16);
+
+/// Log sequence number. LSN 0 means "before any record".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The LSN before the first record.
+    pub const ZERO: Lsn = Lsn(0);
+
+    /// The next LSN.
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LSN({})", self.0)
+    }
+}
+
+/// The logical operation a WAL record describes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// Transaction start.
+    Begin,
+    /// Row inserted.
+    Insert {
+        /// Target table.
+        table: TableId,
+        /// Primary key.
+        key: i64,
+        /// Serialized row image.
+        row: Vec<u8>,
+    },
+    /// Row updated in place.
+    Update {
+        /// Target table.
+        table: TableId,
+        /// Primary key.
+        key: i64,
+        /// Row image before the update (undo).
+        before: Vec<u8>,
+        /// Row image after the update (redo).
+        after: Vec<u8>,
+    },
+    /// Row deleted.
+    Delete {
+        /// Target table.
+        table: TableId,
+        /// Primary key.
+        key: i64,
+        /// Row image before deletion (undo).
+        before: Vec<u8>,
+    },
+    /// Transaction committed.
+    Commit,
+    /// Transaction rolled back.
+    Abort,
+    /// Fuzzy checkpoint: records how many dirty pages were flushed.
+    Checkpoint {
+        /// Dirty pages written back as part of this checkpoint.
+        dirty_pages: u64,
+    },
+}
+
+impl WalOp {
+    /// True for the data-modifying variants (what replicas must replay).
+    pub fn is_dml(&self) -> bool {
+        matches!(self, WalOp::Insert { .. } | WalOp::Update { .. } | WalOp::Delete { .. })
+    }
+}
+
+/// One WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Sequence number (unique, dense, ascending).
+    pub lsn: Lsn,
+    /// Owning transaction.
+    pub txn: TxnId,
+    /// Logical operation.
+    pub op: WalOp,
+}
+
+impl WalRecord {
+    /// Approximate on-wire size in bytes (header + payload images), used for
+    /// log-shipping bandwidth costs.
+    pub fn approx_bytes(&self) -> u64 {
+        let header = 24u64;
+        let payload = match &self.op {
+            WalOp::Insert { row, .. } => 10 + row.len() as u64,
+            WalOp::Update { before, after, .. } => 10 + (before.len() + after.len()) as u64,
+            WalOp::Delete { before, .. } => 10 + before.len() as u64,
+            WalOp::Begin | WalOp::Commit | WalOp::Abort => 0,
+            WalOp::Checkpoint { .. } => 8,
+        };
+        header + payload
+    }
+}
+
+/// An append-only log with truncation at checkpoints.
+///
+/// Records before `start_lsn` have been truncated (their effects are durable
+/// in the page store); indexing accounts for the offset.
+#[derive(Default)]
+pub struct LogStore {
+    records: Vec<WalRecord>,
+    /// LSN of the first retained record minus one.
+    truncated_through: Lsn,
+    appended_bytes: u64,
+}
+
+impl LogStore {
+    /// An empty log.
+    pub fn new() -> Self {
+        LogStore::default()
+    }
+
+    /// Append an operation for `txn`; returns the assigned LSN.
+    pub fn append(&mut self, txn: TxnId, op: WalOp) -> Lsn {
+        let lsn = self.head().next();
+        let rec = WalRecord { lsn, txn, op };
+        self.appended_bytes += rec.approx_bytes();
+        self.records.push(rec);
+        lsn
+    }
+
+    /// The LSN of the most recent record (ZERO if empty since birth).
+    pub fn head(&self) -> Lsn {
+        self.records
+            .last()
+            .map(|r| r.lsn)
+            .unwrap_or(self.truncated_through)
+    }
+
+    /// All retained records with `lsn > after`, in order.
+    pub fn records_after(&self, after: Lsn) -> &[WalRecord] {
+        if after < self.truncated_through {
+            panic!(
+                "records before {:?} were truncated (requested after {:?})",
+                self.truncated_through, after
+            );
+        }
+        let skip = (after.0 - self.truncated_through.0) as usize;
+        &self.records[skip.min(self.records.len())..]
+    }
+
+    /// Fetch one record by LSN if retained.
+    pub fn get(&self, lsn: Lsn) -> Option<&WalRecord> {
+        if lsn <= self.truncated_through || lsn > self.head() {
+            return None;
+        }
+        Some(&self.records[(lsn.0 - self.truncated_through.0 - 1) as usize])
+    }
+
+    /// Drop all records with `lsn <= through` (checkpoint truncation).
+    pub fn truncate_through(&mut self, through: Lsn) {
+        if through <= self.truncated_through {
+            return;
+        }
+        let keep_from = (through.0 - self.truncated_through.0).min(self.records.len() as u64);
+        self.records.drain(..keep_from as usize);
+        self.truncated_through = through;
+    }
+
+    /// Number of retained records.
+    pub fn retained(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total bytes ever appended (for log-volume statistics).
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// First LSN still retained, if any.
+    pub fn oldest_retained(&self) -> Option<Lsn> {
+        self.records.first().map(|r| r.lsn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insert_op(key: i64) -> WalOp {
+        WalOp::Insert {
+            table: TableId(1),
+            key,
+            row: vec![0u8; 32],
+        }
+    }
+
+    #[test]
+    fn lsns_are_dense_and_ascending() {
+        let mut log = LogStore::new();
+        let a = log.append(TxnId(1), WalOp::Begin);
+        let b = log.append(TxnId(1), insert_op(1));
+        let c = log.append(TxnId(1), WalOp::Commit);
+        assert_eq!(a, Lsn(1));
+        assert_eq!(b, Lsn(2));
+        assert_eq!(c, Lsn(3));
+        assert_eq!(log.head(), Lsn(3));
+    }
+
+    #[test]
+    fn records_after_filters_correctly() {
+        let mut log = LogStore::new();
+        for k in 0..5 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        assert_eq!(log.records_after(Lsn(2)).len(), 3);
+        assert_eq!(log.records_after(Lsn(2))[0].lsn, Lsn(3));
+        assert_eq!(log.records_after(Lsn(5)).len(), 0);
+        assert_eq!(log.records_after(Lsn::ZERO).len(), 5);
+    }
+
+    #[test]
+    fn truncation_preserves_lsn_arithmetic() {
+        let mut log = LogStore::new();
+        for k in 0..10 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        log.truncate_through(Lsn(4));
+        assert_eq!(log.retained(), 6);
+        assert_eq!(log.oldest_retained(), Some(Lsn(5)));
+        assert_eq!(log.head(), Lsn(10));
+        // Appends continue from the same sequence.
+        assert_eq!(log.append(TxnId(2), WalOp::Commit), Lsn(11));
+        assert_eq!(log.records_after(Lsn(9)).len(), 2);
+        // Re-truncating earlier is a no-op.
+        log.truncate_through(Lsn(2));
+        assert_eq!(log.retained(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn reading_truncated_range_panics() {
+        let mut log = LogStore::new();
+        for k in 0..5 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        log.truncate_through(Lsn(3));
+        let _ = log.records_after(Lsn(1));
+    }
+
+    #[test]
+    fn get_by_lsn() {
+        let mut log = LogStore::new();
+        log.append(TxnId(1), WalOp::Begin);
+        log.append(TxnId(1), insert_op(7));
+        assert!(matches!(
+            log.get(Lsn(2)).map(|r| &r.op),
+            Some(WalOp::Insert { key: 7, .. })
+        ));
+        assert!(log.get(Lsn(3)).is_none());
+        log.truncate_through(Lsn(1));
+        assert!(log.get(Lsn(1)).is_none());
+        assert!(log.get(Lsn(2)).is_some());
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_images() {
+        let small = WalRecord {
+            lsn: Lsn(1),
+            txn: TxnId(1),
+            op: WalOp::Commit,
+        };
+        let big = WalRecord {
+            lsn: Lsn(2),
+            txn: TxnId(1),
+            op: WalOp::Update {
+                table: TableId(1),
+                key: 1,
+                before: vec![0; 100],
+                after: vec![0; 100],
+            },
+        };
+        assert!(big.approx_bytes() > small.approx_bytes() + 150);
+    }
+
+    #[test]
+    fn dml_classification() {
+        assert!(insert_op(1).is_dml());
+        assert!(!WalOp::Commit.is_dml());
+        assert!(!WalOp::Checkpoint { dirty_pages: 0 }.is_dml());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the storage substrate.
+
+use cb_store::{LogStore, PageBuf, PageStore, TxnId, WalOp, Lsn, TableId};
+use proptest::prelude::*;
+
+fn insert_op(key: i64, len: usize) -> WalOp {
+    WalOp::Insert { table: TableId(0), key, row: vec![0u8; len % 256] }
+}
+
+proptest! {
+    /// The log's LSNs are dense and ascending across appends and
+    /// truncations, and `records_after` returns exactly the retained tail.
+    #[test]
+    fn log_append_truncate_invariants(
+        ops in prop::collection::vec((0i64..100, 0usize..256, prop::bool::ANY), 1..200),
+    ) {
+        let mut log = LogStore::new();
+        let mut expected_head = 0u64;
+        for (key, len, truncate) in ops {
+            let lsn = log.append(TxnId(1), insert_op(key, len));
+            expected_head += 1;
+            prop_assert_eq!(lsn, Lsn(expected_head));
+            prop_assert_eq!(log.head(), Lsn(expected_head));
+            if truncate && expected_head > 2 {
+                let through = Lsn(expected_head - 2);
+                log.truncate_through(through);
+                prop_assert_eq!(log.records_after(through).len(), 2);
+                prop_assert_eq!(log.oldest_retained(), Some(Lsn(expected_head - 1)));
+            }
+        }
+    }
+
+    /// Page scalar accessors round-trip at arbitrary aligned offsets.
+    #[test]
+    fn page_scalars_round_trip(off in 0usize..8000, v in any::<u64>()) {
+        let off = off.min(8192 - 8);
+        let mut p = PageBuf::zeroed();
+        p.put_u64(off, v);
+        prop_assert_eq!(p.get_u64(off), v);
+        p.put_i64(off, v as i64);
+        prop_assert_eq!(p.get_i64(off), v as i64);
+    }
+
+    /// Allocate/free never hands out the same live page twice.
+    #[test]
+    fn page_store_unique_allocation(frees in prop::collection::vec(prop::bool::ANY, 1..100)) {
+        let mut store = PageStore::new();
+        let mut live = Vec::new();
+        for f in frees {
+            if f && !live.is_empty() {
+                let id = live.pop().unwrap();
+                store.free(id);
+                prop_assert!(!store.contains(id));
+            } else {
+                let id = store.allocate();
+                prop_assert!(store.contains(id));
+                prop_assert!(!live.contains(&id));
+                live.push(id);
+            }
+        }
+        prop_assert_eq!(store.live_pages(), live.len());
+    }
+}
+
+mod codec_props {
+    use cb_store::{decode_segment, encode_segment, Lsn, TableId, TxnId, WalOp, WalRecord};
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = WalOp> {
+        let blob = prop::collection::vec(any::<u8>(), 0..200);
+        prop_oneof![
+            Just(WalOp::Begin),
+            Just(WalOp::Commit),
+            Just(WalOp::Abort),
+            any::<u64>().prop_map(|dirty_pages| WalOp::Checkpoint { dirty_pages }),
+            (any::<u16>(), any::<i64>(), blob.clone())
+                .prop_map(|(t, key, row)| WalOp::Insert { table: TableId(t), key, row }),
+            (any::<u16>(), any::<i64>(), blob.clone(), blob.clone()).prop_map(
+                |(t, key, before, after)| WalOp::Update { table: TableId(t), key, before, after }
+            ),
+            (any::<u16>(), any::<i64>(), blob)
+                .prop_map(|(t, key, before)| WalOp::Delete { table: TableId(t), key, before }),
+        ]
+    }
+
+    proptest! {
+        /// Any record sequence survives the wire intact, and any strict
+        /// prefix cut mid-frame is flagged rather than misread.
+        #[test]
+        fn codec_round_trip(ops in prop::collection::vec(arb_op(), 0..40)) {
+            let records: Vec<WalRecord> = ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| WalRecord { lsn: Lsn(i as u64 + 1), txn: TxnId(7), op })
+                .collect();
+            let bytes = encode_segment(&records);
+            prop_assert_eq!(decode_segment(&bytes).unwrap(), records.clone());
+            if !bytes.is_empty() {
+                // Cutting one byte off must not decode to the same records.
+                let r = decode_segment(&bytes[..bytes.len() - 1]).ok();
+                prop_assert_ne!(r, Some(records));
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: deploy a simulated cloud-native database, run the
+//! CloudyBench OLTP workload against it, and print throughput, latency and
+//! cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cb_sim::{SimDuration, SimTime};
+use cb_sut::SutProfile;
+use cloudybench::cost::{ruc_cost, RucRates};
+use cloudybench::report::{fmoney, fnum, Table};
+use cloudybench::{
+    run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
+};
+
+fn main() {
+    // 1. Pick a system under test. Five profiles mirror the paper's
+    //    anonymized systems: aws-rds, cdb1..cdb4.
+    let profile = SutProfile::cdb4();
+    println!(
+        "deploying {} ({}, {:?} architecture)",
+        profile.display, profile.engine, profile.arch
+    );
+
+    // 2. Deploy: creates the sales-microservice schema (CUSTOMER, ORDERS,
+    //    ORDERLINE), loads SF1 data (shrunk by the simulation scale), and
+    //    spins up one RW node plus one RO replica.
+    let sim_scale = 200;
+    let mut dep = Deployment::new(profile.clone(), 1, sim_scale, 1, 42);
+    println!(
+        "loaded {} customers, {} orders, {} orderlines ({} buffer-pool pages per node)",
+        dep.shape.customers,
+        dep.shape.orders,
+        dep.shape.orderlines,
+        profile.buffer_pages(sim_scale),
+    );
+
+    // 3. Run 60 virtual seconds of the read-write mix (T1/T2/T3 = 15/5/80)
+    //    with 100 closed-loop clients.
+    let duration = SimDuration::from_secs(60);
+    let spec = TenantSpec::constant(
+        100,
+        duration,
+        TxnMix::read_write(),
+        AccessDistribution::Uniform,
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    );
+    let result = run(&mut dep, &[spec], &RunOptions::default());
+
+    // 4. Report.
+    let end = SimTime::ZERO + duration;
+    let usage = dep.usage(SimTime::ZERO, end);
+    let cost = ruc_cost(&usage, &RucRates::default());
+    let mut t = Table::new("Quickstart results", &["Metric", "Value"]);
+    t.row(&["committed txns".into(), format!("{}", result.tenants[0].committed)]);
+    t.row(&["avg TPS".into(), fnum(result.avg_tps(SimTime::ZERO, end))]);
+    t.row(&["avg latency".into(), format!("{}", result.tenants[0].avg_latency())]);
+    t.row(&["lock conflicts".into(), format!("{}", result.lock_conflicts)]);
+    t.row(&["cost (1 min, RUC)".into(), fmoney(cost.total())]);
+    println!("{t}");
+}

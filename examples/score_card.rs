@@ -1,0 +1,45 @@
+//! Score card: compute the full PERFECT score set for one system and fold
+//! it into the unified O-Score — a miniature of the paper's Table IX.
+//!
+//! Pass a SUT name (aws-rds, cdb1, cdb2, cdb3, cdb4) as the first argument.
+//!
+//! ```text
+//! cargo run --release --example score_card -- cdb4
+//! ```
+
+use cb_sut::SutProfile;
+use cloudybench::report::{fnum, Table};
+use cloudybench::metrics::o_score;
+use cloudybench::Testbed;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cdb4".to_string());
+    let profile = SutProfile::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown SUT {name}; use aws-rds, cdb1, cdb2, cdb3, or cdb4");
+        std::process::exit(1);
+    });
+    println!("scoring {} (runs every evaluator; takes a minute) ...", profile.display);
+
+    let mut tb = Testbed::new(profile.clone(), 400, 7);
+    tb.concurrency = 60;
+    tb.tau = 60;
+    tb.tenancy_scale = 0.3;
+    let (perfect, o) = tb.perfect();
+    let _ = o;
+    let mut t = Table::new(
+        &format!("PERFECT score card — {}", profile.display),
+        &["Score", "Value", "Meaning"],
+    );
+    t.row(&["P".into(), fnum(perfect.p), "TPS per $-minute (all resources)".into()]);
+    t.row(&["E1".into(), fnum(perfect.e1), "TPS per $-minute (CPU+mem+IOPS)".into()]);
+    t.row(&["F".into(), fnum(perfect.f), "seconds to resume service".into()]);
+    t.row(&["R".into(), fnum(perfect.r), "seconds to recover TPS".into()]);
+    t.row(&["C".into(), fnum(perfect.c), "replication lag (ms)".into()]);
+    t.row(&["T".into(), fnum(perfect.t), "tenant geomean TPS per $".into()]);
+    t.row(&[
+        "O".into(),
+        o_score(1.0, &perfect).map_or("-".into(), fnum),
+        "unified score (higher is better)".into(),
+    ]);
+    println!("{t}");
+}

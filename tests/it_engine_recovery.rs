@@ -1,0 +1,146 @@
+//! Integration: crash recovery across the engine and cluster layers — a
+//! workload runs, the log is analyzed, and a rebuilt database matches.
+
+use cb_engine::recovery::{analyze, rebuild};
+use cb_sim::{SimDuration, SimTime};
+use cb_sut::SutProfile;
+use cloudybench::driver::VcoreControl;
+use cloudybench::schema::{create_tables, load_dataset, DatasetShape};
+use cloudybench::{
+    run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
+};
+
+#[test]
+fn rebuild_from_wal_matches_after_real_workload() {
+    let seed = 4242;
+    let shape = DatasetShape::new(1, 3000);
+    let mut dep = Deployment::new(SutProfile::aws_rds(), 1, 3000, 0, seed);
+    let spec = TenantSpec::constant(
+        10,
+        SimDuration::from_secs(5),
+        TxnMix::iud(50.0, 30.0, 20.0),
+        AccessDistribution::Uniform,
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    );
+    let opts = RunOptions {
+        seed,
+        vcores: VcoreControl::Fixed,
+        ..RunOptions::default()
+    };
+    let r = run(&mut dep, &[spec], &opts);
+    assert!(r.tenants[0].committed > 500, "workload ran");
+
+    // Rebuild: base snapshot (same generator, same seed) + full WAL replay.
+    let rebuilt = rebuild(
+        || {
+            let mut db = cb_engine::Database::new();
+            let tables = create_tables(&mut db);
+            load_dataset(&mut db, tables, shape, seed);
+            db
+        },
+        dep.db.log(),
+    );
+    for name in ["customer", "orders", "orderline"] {
+        let t1 = dep.db.table_id(name).expect(name);
+        let t2 = rebuilt.table_id(name).expect(name);
+        assert_eq!(
+            dep.db.dump_table(t1),
+            rebuilt.dump_table(t2),
+            "table {name} must match after WAL replay"
+        );
+    }
+}
+
+#[test]
+fn analysis_reflects_checkpointing() {
+    // RDS checkpoints every 30s; after a 70s run the analysis window from
+    // the last checkpoint is much smaller than the whole log.
+    let mut dep = Deployment::new(SutProfile::aws_rds(), 1, 3000, 0, 7);
+    let spec = TenantSpec::constant(
+        10,
+        SimDuration::from_secs(70),
+        TxnMix::write_only(),
+        AccessDistribution::Uniform,
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    );
+    let opts = RunOptions { seed: 7, vcores: VcoreControl::Fixed, ..RunOptions::default() };
+    let _ = run(&mut dep, &[spec], &opts);
+    assert!(dep.db.last_checkpoint() > cb_store::Lsn::ZERO, "checkpoints ran");
+    let since_ckpt = analyze(dep.db.log(), dep.db.last_checkpoint());
+    assert!(since_ckpt.scanned > 0);
+    // The tail since the last checkpoint is far less than total traffic.
+    let total_records = dep.db.log().head().0;
+    assert!(
+        since_ckpt.scanned < total_records / 2,
+        "tail {} vs total {total_records}",
+        since_ckpt.scanned
+    );
+}
+
+#[test]
+fn virtual_time_matches_wall_clock_expectations() {
+    // A 5-second simulated run finishes in far less than 5 real seconds —
+    // the whole point of the virtual clock.
+    let start = std::time::Instant::now();
+    let mut dep = Deployment::new(SutProfile::cdb4(), 1, 3000, 1, 7);
+    let spec = TenantSpec::constant(
+        20,
+        SimDuration::from_secs(5),
+        TxnMix::read_write(),
+        AccessDistribution::Uniform,
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    );
+    let r = run(&mut dep, &[spec], &RunOptions::default());
+    assert_eq!(r.horizon, SimTime::from_secs(5));
+    assert!(start.elapsed().as_secs() < 30, "simulation must be fast");
+}
+
+#[test]
+fn shipped_wal_segment_replays_on_a_replica() {
+    use cb_engine::recovery::redo_committed;
+    use cb_store::{decode_segment, encode_segment, Lsn};
+
+    // Primary runs a write-heavy workload.
+    let seed = 777;
+    let shape = DatasetShape::new(1, 3000);
+    let mut dep = Deployment::new(SutProfile::cdb1(), 1, 3000, 0, seed);
+    let spec = TenantSpec::constant(
+        8,
+        SimDuration::from_secs(4),
+        TxnMix::iud(40.0, 40.0, 20.0),
+        AccessDistribution::Uniform,
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    );
+    let opts = RunOptions {
+        seed,
+        vcores: VcoreControl::Fixed,
+        ..RunOptions::default()
+    };
+    let r = run(&mut dep, &[spec], &opts);
+    assert!(r.tenants[0].committed > 200);
+
+    // Ship the whole log as bytes (what the replication stream moves)...
+    let records: Vec<_> = dep.db.log().records_after(Lsn::ZERO).to_vec();
+    let wire = encode_segment(&records);
+    assert!(wire.len() > 10_000, "a real segment: {} bytes", wire.len());
+
+    // ...decode on the replica side and replay committed transactions onto
+    // a replica bootstrapped from the same base snapshot.
+    let decoded = decode_segment(&wire).expect("clean segment");
+    assert_eq!(decoded.len(), records.len());
+    let mut replica = cb_engine::Database::new();
+    let tables = create_tables(&mut replica);
+    load_dataset(&mut replica, tables, shape, seed);
+    let applied = redo_committed(&mut replica, &decoded);
+    assert!(applied > 200);
+
+    for name in ["customer", "orders", "orderline"] {
+        let p = dep.db.table_id(name).unwrap();
+        let q = replica.table_id(name).unwrap();
+        assert_eq!(
+            dep.db.dump_table(p),
+            replica.dump_table(q),
+            "replica diverged on {name}"
+        );
+    }
+}

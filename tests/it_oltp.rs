@@ -1,0 +1,103 @@
+//! Integration: the full OLTP path across crates — deployment, SQL
+//! statement registry, virtual-time driver, replication, metering.
+
+use cb_sim::{SimDuration, SimTime};
+use cb_sut::SutProfile;
+use cloudybench::cost::{ruc_cost, RucRates};
+use cloudybench::driver::VcoreControl;
+use cloudybench::{
+    run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
+};
+
+const SIM_SCALE: u64 = 2000;
+
+fn quick_run(profile: &SutProfile, mix: TxnMix, con: u32, secs: u64) -> (Deployment, f64) {
+    let mut dep = Deployment::new(profile.clone(), 1, SIM_SCALE, 1, 99);
+    let duration = SimDuration::from_secs(secs);
+    let spec = TenantSpec::constant(
+        con,
+        duration,
+        mix,
+        AccessDistribution::Uniform,
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    );
+    let opts = RunOptions {
+        seed: 99,
+        vcores: VcoreControl::Fixed,
+        ..RunOptions::default()
+    };
+    let r = run(&mut dep, &[spec], &opts);
+    let tps = r.avg_tps(SimTime::ZERO, SimTime::ZERO + duration);
+    (dep, tps)
+}
+
+#[test]
+fn all_five_suts_run_all_three_mixes() {
+    for profile in SutProfile::all() {
+        for mix in [TxnMix::read_only(), TxnMix::read_write(), TxnMix::write_only()] {
+            let (_, tps) = quick_run(&profile, mix, 20, 5);
+            assert!(tps > 100.0, "{} {} tps = {tps}", profile.display, mix.label());
+        }
+    }
+}
+
+#[test]
+fn write_mix_mutates_the_database() {
+    let profile = SutProfile::aws_rds();
+    let (dep, _) = quick_run(&profile, TxnMix::write_only(), 10, 5);
+    // T1 inserts grow the orderline table beyond the generated shape.
+    assert!(dep.db.table(dep.tables.orderline).rows() > dep.shape.orderlines);
+    // And the WAL saw the traffic.
+    assert!(dep.db.log().head() > cb_store::Lsn(1000));
+}
+
+#[test]
+fn read_only_mix_leaves_data_untouched() {
+    let profile = SutProfile::cdb3();
+    let (dep, _) = quick_run(&profile, TxnMix::read_only(), 10, 5);
+    assert_eq!(dep.db.table(dep.tables.orderline).rows(), dep.shape.orderlines);
+    assert_eq!(dep.db.table(dep.tables.orders).rows(), dep.shape.orders);
+}
+
+#[test]
+fn memory_disaggregation_beats_small_buffer_on_reads() {
+    // CDB4's giant local buffer + remote pool should outperform CDB2's
+    // 44 MB buffer for the same read workload at matching concurrency.
+    let (_, cdb4) = quick_run(&SutProfile::cdb4(), TxnMix::read_only(), 50, 5);
+    let (_, cdb2) = quick_run(&SutProfile::cdb2(), TxnMix::read_only(), 50, 5);
+    // At this reduced scale the CPU ceiling narrows the gap; the full-size
+    // Fig 5 bench shows the ~3x separation. Here we assert the direction
+    // with a conservative margin.
+    assert!(cdb4 > cdb2 * 1.2, "cdb4 {cdb4} vs cdb2 {cdb2}");
+}
+
+#[test]
+fn concurrency_scales_throughput_until_saturation() {
+    let profile = SutProfile::aws_rds();
+    let (_, tps10) = quick_run(&profile, TxnMix::read_only(), 10, 5);
+    let (_, tps40) = quick_run(&profile, TxnMix::read_only(), 40, 5);
+    let (_, tps200) = quick_run(&profile, TxnMix::read_only(), 200, 5);
+    assert!(tps40 > tps10 * 1.5, "{tps10} -> {tps40}");
+    // Saturation: 5x more clients does not mean 5x more TPS.
+    assert!(tps200 < tps40 * 5.0, "{tps40} -> {tps200}");
+}
+
+#[test]
+fn cost_metering_is_consistent_with_deployment() {
+    let profile = SutProfile::cdb1();
+    let (dep, _) = quick_run(&profile, TxnMix::read_write(), 20, 5);
+    let usage = dep.usage(SimTime::ZERO, SimTime::from_secs(5));
+    // Two fixed 4-vCore nodes (Fixed control in this test).
+    assert!((usage.avg_vcores - 8.0).abs() < 1e-6);
+    let cost = ruc_cost(&usage, &RucRates::default());
+    assert!(cost.total() > 0.0);
+    assert!(cost.storage > 0.0, "six-way replicated storage is billed");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let profile = SutProfile::cdb4();
+    let (_, a) = quick_run(&profile, TxnMix::read_write(), 15, 5);
+    let (_, b) = quick_run(&profile, TxnMix::read_write(), 15, 5);
+    assert_eq!(a, b, "same seed, same result");
+}
