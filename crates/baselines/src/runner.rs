@@ -79,7 +79,10 @@ pub fn run_constant(
             .enumerate()
             .min_by_key(|(i, t)| (*t, *i))
             .expect("at least one client");
-        let next_ctrl = pending.map(|(at, _)| at).unwrap_or(SimTime::MAX).min(next_sample);
+        let next_ctrl = pending
+            .map(|(at, _)| at)
+            .unwrap_or(SimTime::MAX)
+            .min(next_sample);
         if t >= horizon && next_ctrl >= horizon {
             break;
         }
@@ -129,13 +132,7 @@ pub fn run_constant(
                 continue;
             }
         }
-        let mut ctx = ExecCtx::new(
-            t,
-            &mut node.pool,
-            None,
-            &mut storage,
-            &profile.cost_model,
-        );
+        let mut ctx = ExecCtx::new(t, &mut node.pool, None, &mut storage, &profile.cost_model);
         workload.transaction(&mut db, &mut ctx, &mut client_rngs[ci]);
         let cpu = ctx.cpu;
         let io = ctx.io;
@@ -174,7 +171,10 @@ mod tests {
                     ColumnDef::new("V", DataType::Int),
                 ]),
             );
-            db.load_bulk(t, (1..=1000).map(|i| Row::new(vec![Value::Int(i), Value::Int(i)])));
+            db.load_bulk(
+                t,
+                (1..=1000).map(|i| Row::new(vec![Value::Int(i), Value::Int(i)])),
+            );
             self.table = Some(t);
         }
         fn transaction(&mut self, db: &mut Database, ctx: &mut ExecCtx<'_>, rng: &mut DetRng) {

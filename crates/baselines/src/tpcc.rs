@@ -421,7 +421,11 @@ mod tests {
             w.transaction(&mut db, &mut ctx, &mut rng);
         }
         assert_eq!(w.executed.iter().sum::<u64>(), 100);
-        assert!(w.executed[0] > 20, "new-order should dominate: {:?}", w.executed);
+        assert!(
+            w.executed[0] > 20,
+            "new-order should dominate: {:?}",
+            w.executed
+        );
         // New orders actually landed.
         let t = w.t();
         assert!(db.table(t.orders).rows() > 20);

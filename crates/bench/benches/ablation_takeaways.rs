@@ -38,7 +38,10 @@ fn ablation_cdb1_scale_down() {
     let base = SutProfile::cdb1();
     let mut improved = SutProfile::cdb1();
     improved.scaling = ScalingKind::OnDemand;
-    for (label, profile) in [("gradual down (shipped)", base), ("on-demand down (what-if)", improved)] {
+    for (label, profile) in [
+        ("gradual down (shipped)", base),
+        ("on-demand down (what-if)", improved),
+    ] {
         let r = evaluate_elasticity(
             &profile,
             ElasticPattern::ZeroValley,
@@ -47,7 +50,12 @@ fn ablation_cdb1_scale_down() {
             SIM_SCALE,
             SEED,
         );
-        t.row(&[label.into(), fnum(r.avg_tps), fmoney(r.cost.total()), fnum(r.e1)]);
+        t.row(&[
+            label.into(),
+            fnum(r.avg_tps),
+            fmoney(r.cost.total()),
+            fnum(r.e1),
+        ]);
     }
     println!("{t}");
 }
@@ -62,8 +70,17 @@ fn ablation_cdb2_buffer() {
         profile.local_buffer_bytes = bytes;
         profile.local_mem_gb = 20.0 + (bytes as f64 / GB as f64);
         let mut dep = Deployment::new(profile, 100, SIM_SCALE, 1, SEED);
-        let cell = oltp_cell(&mut dep, TxnMix::read_write(), 100, AccessDistribution::Uniform);
-        t.row(&[label.into(), fnum(cell.avg_tps), fmoney(cell.cost_per_min.total())]);
+        let cell = oltp_cell(
+            &mut dep,
+            TxnMix::read_write(),
+            100,
+            AccessDistribution::Uniform,
+        );
+        t.row(&[
+            label.into(),
+            fnum(cell.avg_tps),
+            fmoney(cell.cost_per_min.total()),
+        ]);
     }
     println!("{t}");
 }
@@ -89,7 +106,12 @@ fn ablation_cdb4_autoscaling() {
             SIM_SCALE,
             SEED,
         );
-        t.row(&[label.into(), fnum(r.avg_tps), fmoney(r.cost.total()), fnum(r.e1)]);
+        t.row(&[
+            label.into(),
+            fnum(r.avg_tps),
+            fmoney(r.cost.total()),
+            fnum(r.e1),
+        ]);
     }
     println!("{t}");
 }
@@ -103,8 +125,8 @@ fn ablation_cdb4_remote_pool() {
     let mut without = SutProfile::cdb4();
     without.remote_buffer_bytes = None;
     without.local_buffer_bytes = 512 * MB; // small local cache, no remote tier
-    // Without the remote pool, fail-over cannot switch over through shared
-    // memory: it degrades to replay-from-storage.
+                                           // Without the remote pool, fail-over cannot switch over through shared
+                                           // memory: it degrades to replay-from-storage.
     without.failover.kind = cb_cluster::RecoveryKind::ReplayFromStorage {
         base: cb_sim::SimDuration::from_millis(800),
         hops: 1,
@@ -113,9 +135,17 @@ fn ablation_cdb4_remote_pool() {
     };
     without.failover.warmup = cb_sim::SimDuration::from_secs(12);
     without.failover.detection = cb_sim::SimDuration::from_secs(2); // no shared-memory heartbeats
-    for (label, profile) in [("memory disaggregation (shipped)", base), ("no remote pool (what-if)", without)] {
+    for (label, profile) in [
+        ("memory disaggregation (shipped)", base),
+        ("no remote pool (what-if)", without),
+    ] {
         let mut dep = Deployment::new(profile.clone(), 100, SIM_SCALE, 1, SEED);
-        let cell = oltp_cell(&mut dep, TxnMix::read_only(), 100, AccessDistribution::Uniform);
+        let cell = oltp_cell(
+            &mut dep,
+            TxnMix::read_only(),
+            100,
+            AccessDistribution::Uniform,
+        );
         let fo = evaluate_failover(&profile, 100, SIM_SCALE, SEED);
         t.row(&[
             label.into(),

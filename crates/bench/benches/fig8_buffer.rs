@@ -33,7 +33,11 @@ fn main() {
         "Figure 8 — TPS / cost / P-Score by buffer size",
         &["System", "Buffer", "Avg TPS", "Cost$/min", "P-Score"],
     );
-    for base in [SutProfile::aws_rds(), SutProfile::cdb1(), SutProfile::cdb4()] {
+    for base in [
+        SutProfile::aws_rds(),
+        SutProfile::cdb1(),
+        SutProfile::cdb4(),
+    ] {
         for (bytes, label) in BUFFERS {
             let mut profile = base.clone();
             profile.local_buffer_bytes = bytes;
@@ -44,7 +48,12 @@ fn main() {
             let mut tps_sum = 0.0;
             let mut cost = None;
             for con in CONS {
-                let cell = oltp_cell(&mut dep, TxnMix::read_write(), con, AccessDistribution::Uniform);
+                let cell = oltp_cell(
+                    &mut dep,
+                    TxnMix::read_write(),
+                    con,
+                    AccessDistribution::Uniform,
+                );
                 tps_sum += cell.avg_tps;
                 cost = Some(cell.cost_per_min);
             }

@@ -14,7 +14,9 @@ use cb_sut::SutProfile;
 use cloudybench::collector::export_multi_csv;
 use cloudybench::elasticity::{assemble, ElasticPattern};
 use cloudybench::report::print_series;
-use cloudybench::{run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix};
+use cloudybench::{
+    run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
+};
 
 const TAU: u32 = 44;
 const MINUTES: usize = 12;
@@ -32,18 +34,41 @@ fn main() {
         dist: AccessDistribution::Uniform,
         partition: KeyPartition::whole(dep.shape.orders, dep.shape.customers),
     };
-    let _ = run(&mut dep, &[spec], &RunOptions { seed: SEED, ..RunOptions::default() });
+    let _ = run(
+        &mut dep,
+        &[spec],
+        &RunOptions {
+            seed: SEED,
+            ..RunOptions::default()
+        },
+    );
     let cloudy = dep.nodes[0].vcore_gauge.clone();
 
     // Baselines: constant threads chosen as in the paper (peak/valley points).
     let duration = SimDuration::from_secs(60 * MINUTES as u64);
-    let sys = run_constant(&profile, &mut Sysbench::default(), 11, duration, SIM_SCALE, SEED);
-    let tpcc = run_constant(&profile, &mut TpccLite::new(1), 44, duration, SIM_SCALE, SEED);
+    let sys = run_constant(
+        &profile,
+        &mut Sysbench::default(),
+        11,
+        duration,
+        SIM_SCALE,
+        SEED,
+    );
+    let tpcc = run_constant(
+        &profile,
+        &mut TpccLite::new(1),
+        44,
+        duration,
+        SIM_SCALE,
+        SEED,
+    );
 
     // Sample all three gauges once per 30 seconds.
     let step = SimDuration::from_secs(30);
     let n = MINUTES * 2 + 1;
-    let xs: Vec<String> = (0..n).map(|i| format!("{:.1}min", i as f64 / 2.0)).collect();
+    let xs: Vec<String> = (0..n)
+        .map(|i| format!("{:.1}min", i as f64 / 2.0))
+        .collect();
     print_series(
         "Figure 9 — allocated vCores over 12 minutes",
         "time",
@@ -63,7 +88,10 @@ fn main() {
     let (slo, shi) = span(&sys.vcores);
     let (tlo, thi) = span(&tpcc.vcores);
     println!("scaling ranges: CloudyBench {clo}..{chi} vCores | SysBench {slo}..{shi} | TPC-C {tlo}..{thi}");
-    println!("baseline TPS: SysBench {:.0}, TPC-C {:.0}", sys.avg_tps, tpcc.avg_tps);
+    println!(
+        "baseline TPS: SysBench {:.0}, TPC-C {:.0}",
+        sys.avg_tps, tpcc.avg_tps
+    );
 
     // Also drop the series as CSV for plotting.
     let out = std::path::Path::new("target/fig9_cpu_fluctuation.csv");

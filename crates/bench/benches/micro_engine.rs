@@ -30,7 +30,8 @@ fn bench_btree(c: &mut Criterion) {
         b.iter(|| {
             k += 1;
             let mut alog = AccessLog::new();
-            tree.insert(&mut store, k, b"payload", &mut alog).expect("fresh key");
+            tree.insert(&mut store, k, b"payload", &mut alog)
+                .expect("fresh key");
             tree.delete(&mut store, k, &mut alog);
         })
     });
@@ -91,8 +92,16 @@ fn bench_row_codec(c: &mut Criterion) {
     ]);
     let encoded = row.encode();
     c.bench_function("row_encode", |b| b.iter(|| black_box(row.encode())));
-    c.bench_function("row_decode", |b| b.iter(|| black_box(Row::decode(&encoded))));
+    c.bench_function("row_decode", |b| {
+        b.iter(|| black_box(Row::decode(&encoded)))
+    });
 }
 
-criterion_group!(benches, bench_btree, bench_bufferpool, bench_wal, bench_row_codec);
+criterion_group!(
+    benches,
+    bench_btree,
+    bench_bufferpool,
+    bench_wal,
+    bench_row_codec
+);
 criterion_main!(benches);

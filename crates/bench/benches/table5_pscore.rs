@@ -18,8 +18,17 @@ fn main() {
     let mut table = Table::new(
         "Table V — per-minute resource cost and P-Score",
         &[
-            "System", "CPU$", "Mem$", "Storage$", "IOPS$", "Net$", "Total$/min", "P(RO)",
-            "P(RW)", "P(WO)", "P(AVG)",
+            "System",
+            "CPU$",
+            "Mem$",
+            "Storage$",
+            "IOPS$",
+            "Net$",
+            "Total$/min",
+            "P(RO)",
+            "P(RW)",
+            "P(WO)",
+            "P(AVG)",
         ],
     );
     for profile in SutProfile::all() {

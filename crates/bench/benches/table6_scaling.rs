@@ -22,17 +22,17 @@ fn main() {
     for pattern in ElasticPattern::all() {
         let mut table = Table::new(
             &format!("Table VI — {} (tau = {TAU})", pattern.label()),
-            &["System", "Slot", "Con change", "Scaling time", "Scaling cost"],
+            &[
+                "System",
+                "Slot",
+                "Con change",
+                "Scaling time",
+                "Scaling cost",
+            ],
         );
         for profile in &suts {
-            let r = evaluate_elasticity(
-                profile,
-                pattern,
-                TxnMix::read_write(),
-                TAU,
-                SIM_SCALE,
-                SEED,
-            );
+            let r =
+                evaluate_elasticity(profile, pattern, TxnMix::read_write(), TAU, SIM_SCALE, SEED);
             for s in r.scalings.iter().take(4) {
                 table.row(&[
                     profile.display.to_string(),
@@ -57,7 +57,12 @@ fn main() {
 fn drain_table(suts: &[SutProfile; 3]) {
     let mut table = Table::new(
         "Table VI (supplement) — time to release capacity after the Single Peak",
-        &["System", "Allocation 1 min after peak", "Back at minimum after", "Final vCores"],
+        &[
+            "System",
+            "Allocation 1 min after peak",
+            "Back at minimum after",
+            "Final vCores",
+        ],
     );
     for profile in suts {
         let r = evaluate_elasticity(
@@ -82,7 +87,9 @@ fn drain_table(suts: &[SutProfile; 3]) {
         table.row(&[
             profile.display.to_string(),
             format!("{after_1m:.2} vCores"),
-            drained.map_or("not within window".into(), |d| format!("{:.0}s", d.as_secs_f64())),
+            drained.map_or("not within window".into(), |d| {
+                format!("{:.0}s", d.as_secs_f64())
+            }),
             format!("{final_v:.2}"),
         ]);
     }

@@ -20,8 +20,18 @@ fn main() {
     let mut table = Table::new(
         "Table VII — TPS and T-Score by pattern",
         &[
-            "System", "TPS(a)", "TPS(b)", "TPS(c)", "TPS(d)", "Resources", "Cost$/min",
-            "T(a)", "T(b)", "T(c)", "T(d)", "T(AVG)",
+            "System",
+            "TPS(a)",
+            "TPS(b)",
+            "TPS(c)",
+            "TPS(d)",
+            "Resources",
+            "Cost$/min",
+            "T(a)",
+            "T(b)",
+            "T(c)",
+            "T(d)",
+            "T(AVG)",
         ],
     );
     for profile in SutProfile::all() {

@@ -48,14 +48,18 @@ fn main() {
     let mut table = Table::new(
         "Table IX — PERFECT scores and O-Score",
         &[
-            "System", "P", "P*", "E1", "E1*", "R(s)", "F(s)", "E2", "C(ms)", "T", "T*",
-            "O", "O*",
+            "System", "P", "P*", "E1", "E1*", "R(s)", "F(s)", "E2", "C(ms)", "T", "T*", "O", "O*",
         ],
     );
     for profile in SutProfile::all() {
         // P / P*: read-write throughput per dollar (RUC and actual).
         let mut dep = standard_deployment(&profile, 1);
-        let cell = oltp_cell(&mut dep, TxnMix::read_write(), 100, AccessDistribution::Uniform);
+        let cell = oltp_cell(
+            &mut dep,
+            TxnMix::read_write(),
+            100,
+            AccessDistribution::Uniform,
+        );
         let p = p_score(cell.avg_tps, &cell.cost_per_min);
         let window = SimDuration::from_secs(cb_bench::MEASURE_SECS);
         let usage = dep.usage(SimTime::ZERO, SimTime::ZERO + window);
@@ -70,13 +74,21 @@ fn main() {
         let mut e1_sum = 0.0;
         let mut e1_star_sum = 0.0;
         for pattern in ElasticPattern::all() {
-            let r = evaluate_elasticity(&profile, pattern, TxnMix::read_write(), TAU, SIM_SCALE, SEED);
+            let r = evaluate_elasticity(
+                &profile,
+                pattern,
+                TxnMix::read_write(),
+                TAU,
+                SIM_SCALE,
+                SEED,
+            );
             e1_sum += r.e1;
             // Starred: reprice the same ten-minute window with actual rates.
             let per_min = r.cost.scaled(1.0 / 10.0);
             let ratio_cpu = profile.actual_pricing.vcore_hour / RucRates::default().cpu_vcore_hour;
             let ratio_mem = profile.actual_pricing.mem_gb_hour / RucRates::default().mem_gb_hour;
-            let ratio_iops = profile.actual_pricing.iops_100_hour / RucRates::default().iops_100_hour;
+            let ratio_iops =
+                profile.actual_pricing.iops_100_hour / RucRates::default().iops_100_hour;
             let starred = cloudybench::cost::CostBreakdown {
                 cpu: per_min.cpu * ratio_cpu,
                 mem: per_min.mem * ratio_mem,
@@ -94,7 +106,11 @@ fn main() {
         let r = fo.r_avg().max(0.5);
 
         // E2: add RO nodes and measure marginal read throughput.
-        let tps_series = [tps_with_ro(&profile, 0), tps_with_ro(&profile, 1), tps_with_ro(&profile, 2)];
+        let tps_series = [
+            tps_with_ro(&profile, 0),
+            tps_with_ro(&profile, 1),
+            tps_with_ro(&profile, 2),
+        ];
         let e2 = e2_score(&tps_series, 1.0).max(1.0);
 
         // C: replication lag.
@@ -112,8 +128,21 @@ fn main() {
         let t = t_sum / 4.0;
         let t_star = t_star_sum / 4.0;
 
-        let perfect = Perfect { p, e1, e2, r, f, c, t };
-        let starred = Perfect { p: p_star, e1: e1_star, t: t_star, ..perfect };
+        let perfect = Perfect {
+            p,
+            e1,
+            e2,
+            r,
+            f,
+            c,
+            t,
+        };
+        let starred = Perfect {
+            p: p_star,
+            e1: e1_star,
+            t: t_star,
+            ..perfect
+        };
         let o = o_score(1.0, &perfect);
         let o_star = o_score(1.0, &starred);
         table.row(&[

@@ -88,7 +88,12 @@ mod tests {
     fn oltp_cell_produces_sane_numbers() {
         let profile = SutProfile::aws_rds();
         let mut dep = Deployment::new(profile.clone(), 1, 2000, 1, SEED);
-        let cell = oltp_cell(&mut dep, TxnMix::read_only(), 10, AccessDistribution::Uniform);
+        let cell = oltp_cell(
+            &mut dep,
+            TxnMix::read_only(),
+            10,
+            AccessDistribution::Uniform,
+        );
         assert!(cell.avg_tps > 100.0);
         assert!(cell.cost_per_min.total() > 0.0);
     }

@@ -6,17 +6,18 @@
 
 #![warn(missing_docs)]
 
+use cb_obs::ObsSink;
 use cb_sim::{SimDuration, SimTime};
 use cb_sut::SutProfile;
 use cloudybench::config::{ConfigError, ElasticScheduleConfig, Props};
 use cloudybench::cost::{ruc_cost, RucRates};
-use cloudybench::lagtime::evaluate_lagtime_with_replicas;
 use cloudybench::driver::VcoreControl;
-use cloudybench::elasticity::{evaluate_elasticity, ElasticPattern};
-use cloudybench::failover_eval::evaluate_failover;
+use cloudybench::elasticity::{evaluate_elasticity_with_obs, ElasticPattern};
+use cloudybench::failover_eval::evaluate_failover_with_obs;
+use cloudybench::lagtime::evaluate_lagtime_with_replicas_obs;
 
 use cloudybench::report::{fmoney, fnum, fsecs, Table};
-use cloudybench::tenancy::{evaluate_tenancy, TenancyPattern};
+use cloudybench::tenancy::{evaluate_tenancy_with_obs, TenancyPattern};
 use cloudybench::{
     run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
 };
@@ -41,8 +42,15 @@ impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Config(e) => write!(f, "{e}"),
-            CliError::Unknown { key, value, expected } => {
-                write!(f, "key {key}: unknown value {value:?} (expected one of: {expected})")
+            CliError::Unknown {
+                key,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "key {key}: unknown value {value:?} (expected one of: {expected})"
+                )
             }
         }
     }
@@ -142,6 +150,13 @@ fn parse_tenancy_pattern(props: &Props) -> Result<TenancyPattern, CliError> {
 
 /// Run the evaluation described by `props` and return the printed report.
 pub fn run_from_props(props: &Props) -> Result<String, CliError> {
+    run_from_props_with_obs(props, &ObsSink::disabled())
+}
+
+/// [`run_from_props`] with an observability sink: the run journals spans,
+/// histograms and counters into `obs` for artifact export (the binary's
+/// `--trace-out` / `--metrics-out` flags).
+pub fn run_from_props_with_obs(props: &Props, obs: &ObsSink) -> Result<String, CliError> {
     let profile = parse_sut(props)?;
     let sim_scale = props.get_u64("sim_scale", 200)?;
     let seed = props.get_u64("seed", 7)?;
@@ -167,6 +182,7 @@ pub fn run_from_props(props: &Props) -> Result<String, CliError> {
             let opts = RunOptions {
                 seed,
                 vcores: VcoreControl::Fixed,
+                obs: obs.clone(),
                 ..RunOptions::default()
             };
             let result = run(&mut dep, &[spec], &opts);
@@ -176,13 +192,26 @@ pub fn run_from_props(props: &Props) -> Result<String, CliError> {
             let rates = RucRates::from_props(props)?;
             let cost = ruc_cost(&usage, &rates);
             let mut t = Table::new(
-                &format!("OLTP — {} SF{sf} {} con={con}", profile.display, mix.label()),
+                &format!(
+                    "OLTP — {} SF{sf} {} con={con}",
+                    profile.display,
+                    mix.label()
+                ),
                 &["Metric", "Value"],
             );
             t.row(&["avg TPS".into(), fnum(result.avg_tps(SimTime::ZERO, end))]);
-            t.row(&["committed".into(), format!("{}", result.tenants[0].committed)]);
-            t.row(&["avg latency".into(), format!("{}", result.tenants[0].avg_latency())]);
-            t.row(&["lock conflicts".into(), format!("{}", result.lock_conflicts)]);
+            t.row(&[
+                "committed".into(),
+                format!("{}", result.tenants[0].committed),
+            ]);
+            t.row(&[
+                "avg latency".into(),
+                format!("{}", result.tenants[0].avg_latency()),
+            ]);
+            t.row(&[
+                "lock conflicts".into(),
+                format!("{}", result.lock_conflicts),
+            ]);
             t.row(&["RUC cost".into(), fmoney(cost.total())]);
             out.push_str(&t.to_string());
         }
@@ -200,7 +229,12 @@ pub fn run_from_props(props: &Props) -> Result<String, CliError> {
                     dist: AccessDistribution::Uniform,
                     partition: KeyPartition::whole(dep.shape.orders, dep.shape.customers),
                 };
-                let result = run(&mut dep, &[spec], &RunOptions { seed, ..RunOptions::default() });
+                let opts = RunOptions {
+                    seed,
+                    obs: obs.clone(),
+                    ..RunOptions::default()
+                };
+                let result = run(&mut dep, &[spec], &opts);
                 let mut t = Table::new(
                     &format!("Elasticity (custom schedule) — {}", profile.display),
                     &["Metric", "Value"],
@@ -210,7 +244,8 @@ pub fn run_from_props(props: &Props) -> Result<String, CliError> {
                 out.push_str(&t.to_string());
             } else {
                 let pattern = parse_elastic_pattern(props)?;
-                let r = evaluate_elasticity(&profile, pattern, mix, tau, sim_scale, seed);
+                let r =
+                    evaluate_elasticity_with_obs(&profile, pattern, mix, tau, sim_scale, seed, obs);
                 let mut t = Table::new(
                     &format!("Elasticity — {} / {}", profile.display, pattern.label()),
                     &["Metric", "Value"],
@@ -224,7 +259,7 @@ pub fn run_from_props(props: &Props) -> Result<String, CliError> {
         "tenancy" => {
             let pattern = parse_tenancy_pattern(props)?;
             let scale = props.get_f64("tenancy_scale", 0.5)?;
-            let r = evaluate_tenancy(&profile, pattern, scale, sim_scale, seed);
+            let r = evaluate_tenancy_with_obs(&profile, pattern, scale, sim_scale, seed, obs);
             let mut t = Table::new(
                 &format!("Multi-tenancy — {} / {}", profile.display, pattern.label()),
                 &["Metric", "Value"],
@@ -239,7 +274,7 @@ pub fn run_from_props(props: &Props) -> Result<String, CliError> {
         }
         "failover" => {
             let con = props.get_u64("concurrency", 100)? as u32;
-            let r = evaluate_failover(&profile, con, sim_scale, seed);
+            let r = evaluate_failover_with_obs(&profile, con, sim_scale, seed, obs);
             let mut t = Table::new(
                 &format!("Fail-over — {}", profile.display),
                 &["Target", "F", "R"],
@@ -251,7 +286,14 @@ pub fn run_from_props(props: &Props) -> Result<String, CliError> {
         "lagtime" => {
             let con = props.get_u64("concurrency", 30)? as u32;
             let replicas = props.get_u64("replicas", 1)? as usize;
-            let r = evaluate_lagtime_with_replicas(&profile, con, replicas.max(1), sim_scale, seed);
+            let r = evaluate_lagtime_with_replicas_obs(
+                &profile,
+                con,
+                replicas.max(1),
+                sim_scale,
+                seed,
+                obs,
+            );
             let mut t = Table::new(
                 &format!("Replication lag — {}", profile.display),
                 &["Mix", "Insert ms", "Update ms", "Delete ms"],
@@ -264,7 +306,12 @@ pub fn run_from_props(props: &Props) -> Result<String, CliError> {
                     fnum(row.delete_ms),
                 ]);
             }
-            t.row(&["C-Score".into(), fnum(r.c_score_ms), String::new(), String::new()]);
+            t.row(&[
+                "C-Score".into(),
+                fnum(r.c_score_ms),
+                String::new(),
+                String::new(),
+            ]);
             out.push_str(&t.to_string());
         }
         other => {
@@ -289,7 +336,8 @@ mod tests {
 
     #[test]
     fn oltp_mode_runs() {
-        let report = go("sut = aws-rds\nmode = oltp\nsim_scale = 2000\nconcurrency = 10\nduration_secs = 3");
+        let report =
+            go("sut = aws-rds\nmode = oltp\nsim_scale = 2000\nconcurrency = 10\nduration_secs = 3");
         assert!(report.contains("avg TPS"), "{report}");
         assert!(report.contains("RUC cost"));
     }
@@ -327,6 +375,24 @@ mod tests {
         assert!(f.contains("RW"));
         let l = go("sut = cdb1\nmode = lagtime\nsim_scale = 2000\nconcurrency = 10");
         assert!(l.contains("C-Score"));
+    }
+
+    #[test]
+    fn obs_sink_collects_during_props_run() {
+        let props = Props::parse(
+            "sut = cdb4\nmode = oltp\nsim_scale = 2000\nconcurrency = 10\nduration_secs = 3\nmix = rw",
+        )
+        .expect("props parse");
+        let obs = ObsSink::enabled();
+        run_from_props_with_obs(&props, &obs).expect("run succeeds");
+        obs.with(|t| {
+            assert!(t
+                .histogram("txn.latency_ns")
+                .is_some_and(|h| h.count() > 100));
+            assert!(t.counter("wal.appends") > 0);
+            assert!(!t.journal().is_empty());
+        })
+        .expect("sink enabled");
     }
 
     #[test]

@@ -6,23 +6,51 @@
 //! echo "sut = cdb3
 //! mode = elasticity
 //! pattern = zero-valley" | cloudybench -
+//! cloudybench run.props --trace-out traces/   # + Chrome trace & histograms
 //! ```
 
 use std::io::Read;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use cb_obs::{write_run_artifacts, ObsSink};
 use cloudybench::config::Props;
-use cloudybench_cli::run_from_props;
+use cloudybench_cli::run_from_props_with_obs;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cloudybench <props-file | - > [--trace-out DIR] [--metrics-out DIR]");
+    eprintln!();
+    eprintln!("keys: sut (aws-rds|cdb1..cdb4), mode (oltp|elasticity|tenancy|failover|lagtime),");
+    eprintln!("      scale_factor, sim_scale, seed, concurrency, duration_secs,");
+    eprintln!("      mix (ro|rw|wo|t1:t2:t3:t4), distribution (uniform|latest-N),");
+    eprintln!("      pattern, tau, elastic_testTime + first_con.., tenancy_pattern, tenancy_scale");
+    eprintln!();
+    eprintln!("flags: --trace-out DIR    write trace.json, histograms.json/.csv, timeline.txt");
+    eprintln!("       --metrics-out DIR  write histograms.json and histograms.csv only");
+    ExitCode::FAILURE
+}
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: cloudybench <props-file | - >");
-        eprintln!();
-        eprintln!("keys: sut (aws-rds|cdb1..cdb4), mode (oltp|elasticity|tenancy|failover|lagtime),");
-        eprintln!("      scale_factor, sim_scale, seed, concurrency, duration_secs,");
-        eprintln!("      mix (ro|rw|wo|t1:t2:t3:t4), distribution (uniform|latest-N),");
-        eprintln!("      pattern, tau, elastic_testTime + first_con.., tenancy_pattern, tenancy_scale");
-        return ExitCode::FAILURE;
+    let mut path: Option<String> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => match args.next() {
+                Some(dir) => trace_out = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--metrics-out" => match args.next() {
+                Some(dir) => metrics_out = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ if path.is_none() => path = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
     };
     let text = if path == "-" {
         let mut buf = String::new();
@@ -47,9 +75,47 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_from_props(&props) {
+    let obs = if trace_out.is_some() || metrics_out.is_some() {
+        ObsSink::enabled()
+    } else {
+        ObsSink::disabled()
+    };
+    match run_from_props_with_obs(&props, &obs) {
         Ok(report) => {
             println!("{report}");
+            if let Some(dir) = &trace_out {
+                let r = obs
+                    .with(|t| write_run_artifacts(t, dir))
+                    .expect("sink enabled");
+                if let Err(e) = r {
+                    eprintln!(
+                        "cloudybench: writing trace artifacts to {}: {e}",
+                        dir.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("trace artifacts written to {}", dir.display());
+            }
+            if let Some(dir) = &metrics_out {
+                let r = obs
+                    .with(|t| -> std::io::Result<()> {
+                        std::fs::create_dir_all(dir)?;
+                        std::fs::write(
+                            dir.join(cb_obs::export::HIST_JSON_FILE),
+                            cb_obs::histogram_summary_json(t),
+                        )?;
+                        std::fs::write(
+                            dir.join(cb_obs::export::HIST_CSV_FILE),
+                            cb_obs::histogram_csv(t),
+                        )
+                    })
+                    .expect("sink enabled");
+                if let Err(e) = r {
+                    eprintln!("cloudybench: writing metrics to {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("metric summaries written to {}", dir.display());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

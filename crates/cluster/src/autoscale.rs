@@ -404,7 +404,11 @@ mod tests {
     #[test]
     fn quant_pauses_after_confirmed_idleness() {
         let mut p = QuantScaler::cdb3_default();
-        assert_eq!(p.decide(sample(20, 0.0, 2.0, false)), None, "first idle sample holds");
+        assert_eq!(
+            p.decide(sample(20, 0.0, 2.0, false)),
+            None,
+            "first idle sample holds"
+        );
         let d = p.decide(sample(40, 0.0, 2.0, false)).unwrap();
         assert_eq!(d.target_vcores, 0.0);
         assert!(p.resume_delay() > SimDuration::ZERO);
@@ -418,7 +422,11 @@ mod tests {
         let mut p = QuantScaler::cdb3_default();
         let d = p.decide(sample(60, 1.0, 0.25, true)).unwrap();
         assert!(d.target_vcores > 0.25);
-        assert_eq!(d.effective_at, SimTime::from_secs(85), "20s sample + 25s apply");
+        assert_eq!(
+            d.effective_at,
+            SimTime::from_secs(85),
+            "20s sample + 25s apply"
+        );
     }
 
     #[test]

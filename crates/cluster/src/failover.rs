@@ -134,9 +134,24 @@ pub fn plan_failover(
     match model.kind {
         RecoveryKind::Aries { per_record, base } => {
             push(&mut phases, "restart", model.restart, &mut t);
-            push(&mut phases, "analysis", base + per_record * analysis.scanned, &mut t);
-            push(&mut phases, "redo", per_record * analysis.redo_records, &mut t);
-            push(&mut phases, "undo", per_record * analysis.undo_records * 2, &mut t);
+            push(
+                &mut phases,
+                "analysis",
+                base + per_record * analysis.scanned,
+                &mut t,
+            );
+            push(
+                &mut phases,
+                "redo",
+                per_record * analysis.redo_records,
+                &mut t,
+            );
+            push(
+                &mut phases,
+                "undo",
+                per_record * analysis.undo_records * 2,
+                &mut t,
+            );
         }
         RecoveryKind::ReplayFromStorage {
             base,
@@ -145,8 +160,18 @@ pub fn plan_failover(
             undo_per_record,
         } => {
             push(&mut phases, "restart", model.restart, &mut t);
-            push(&mut phases, "reattach", base + per_hop * hops as u64, &mut t);
-            push(&mut phases, "undo", undo_per_record * analysis.undo_records, &mut t);
+            push(
+                &mut phases,
+                "reattach",
+                base + per_hop * hops as u64,
+                &mut t,
+            );
+            push(
+                &mut phases,
+                "undo",
+                undo_per_record * analysis.undo_records,
+                &mut t,
+            );
         }
         RecoveryKind::RemoteBufferSwitch {
             prepare,
@@ -281,14 +306,26 @@ mod tests {
             warmup_peak: SimDuration::from_millis(1),
         };
         let t = plan_failover(&m, SimTime::from_secs(100), &analysis(10_000, 9_000, 100));
-        assert_eq!(t.phases.iter().map(|p| p.name).collect::<Vec<_>>(),
-                   vec!["detect", "prepare", "switchover", "recovering"]);
-        assert_eq!(t.downtime(), SimDuration::from_millis(3500), "service resumes after switch-over");
-        assert_eq!(t.phase("switchover").unwrap().duration(), SimDuration::from_secs(2));
+        assert_eq!(
+            t.phases.iter().map(|p| p.name).collect::<Vec<_>>(),
+            vec!["detect", "prepare", "switchover", "recovering"]
+        );
+        assert_eq!(
+            t.downtime(),
+            SimDuration::from_millis(3500),
+            "service resumes after switch-over"
+        );
+        assert_eq!(
+            t.phase("switchover").unwrap().duration(),
+            SimDuration::from_secs(2)
+        );
         // Phases are contiguous.
         for w in t.phases.windows(2) {
             assert_eq!(w[0].end, w[1].start);
         }
-        assert!(t.phases.last().unwrap().end > t.service_resumed_at, "undo runs past resumption");
+        assert!(
+            t.phases.last().unwrap().end > t.service_resumed_at,
+            "undo runs past resumption"
+        );
     }
 }

@@ -112,7 +112,10 @@ mod tests {
         let mut m = monitor();
         for i in 0..10 {
             m.beat(SimTime::from_millis(i * 500));
-            assert_eq!(m.check(SimTime::from_millis(i * 500 + 100)), NodeHealth::Healthy);
+            assert_eq!(
+                m.check(SimTime::from_millis(i * 500 + 100)),
+                NodeHealth::Healthy
+            );
         }
     }
 
@@ -141,7 +144,10 @@ mod tests {
         }
         // Late beats cannot resurrect it.
         m.beat(SimTime::from_secs(61));
-        assert!(matches!(m.check(SimTime::from_secs(62)), NodeHealth::Failed { .. }));
+        assert!(matches!(
+            m.check(SimTime::from_secs(62)),
+            NodeHealth::Failed { .. }
+        ));
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub use autoscale::{
     FixedCapacity, GradualDownScaler, OnDemandScaler, QuantScaler, ScaleDecision, ScaleSample,
     ScalingPolicy,
 };
-pub use failover::{plan_failover, plan_ro_failover, FailoverModel, FailoverPhase, FailoverTimeline, RecoveryKind};
+pub use failover::{
+    plan_failover, plan_ro_failover, FailoverModel, FailoverPhase, FailoverTimeline, RecoveryKind,
+};
 pub use heartbeat::{HeartbeatMonitor, NodeHealth};
 pub use metering::{measure, MeterConfig, ResourceUsage};
 pub use node::{Node, NodeId, NodeRole, NodeStatus};

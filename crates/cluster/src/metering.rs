@@ -60,10 +60,7 @@ pub fn measure(nodes: &[&Node], cfg: &MeterConfig, from: SimTime, to: SimTime) -
             ..Default::default()
         };
     }
-    let vcore_seconds: f64 = nodes
-        .iter()
-        .map(|n| n.vcore_gauge.integral(from, to))
-        .sum();
+    let vcore_seconds: f64 = nodes.iter().map(|n| n.vcore_gauge.integral(from, to)).sum();
     let avg_vcores = vcore_seconds / secs;
     let local_mem = match cfg.gb_per_vcore {
         Some(per) => avg_vcores * per,
@@ -120,12 +117,7 @@ mod tests {
     #[test]
     fn fixed_capacity_measures_flat() {
         let node = Node::new(NodeId(0), NodeRole::ReadWrite, 4.0, 16);
-        let u = measure(
-            &[&node],
-            &cfg(),
-            SimTime::ZERO,
-            SimTime::from_secs(600),
-        );
+        let u = measure(&[&node], &cfg(), SimTime::ZERO, SimTime::from_secs(600));
         assert!((u.avg_vcores - 4.0).abs() < 1e-9);
         assert!((u.avg_mem_gb - 16.0).abs() < 1e-9);
         assert!((u.storage_gb - 63.0).abs() < 1e-9);
@@ -149,7 +141,10 @@ mod tests {
         let mut node = Node::new(NodeId(0), NodeRole::ReadWrite, 2.0, 16);
         node.pause(SimTime::from_secs(100));
         let u = measure(&[&node], &cfg(), SimTime::ZERO, SimTime::from_secs(200));
-        assert!((u.avg_vcores - 1.0).abs() < 1e-9, "2 vCores for half the window");
+        assert!(
+            (u.avg_vcores - 1.0).abs() < 1e-9,
+            "2 vCores for half the window"
+        );
     }
 
     #[test]
@@ -174,7 +169,12 @@ mod tests {
     #[test]
     fn empty_window_is_zero() {
         let node = Node::new(NodeId(0), NodeRole::ReadWrite, 4.0, 16);
-        let u = measure(&[&node], &cfg(), SimTime::from_secs(5), SimTime::from_secs(5));
+        let u = measure(
+            &[&node],
+            &cfg(),
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+        );
         assert_eq!(u.avg_vcores, 0.0);
     }
 }

@@ -184,7 +184,11 @@ mod tests {
     #[test]
     fn warmup_penalty_decays_linearly() {
         let mut n = node();
-        n.restart(SimTime::ZERO, SimDuration::from_secs(5), SimDuration::from_secs(10));
+        n.restart(
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(10),
+        );
         let peak = SimDuration::from_millis(10);
         // Right after service resumption: full penalty.
         let p0 = n.warmup_penalty(SimTime::from_secs(5), peak);

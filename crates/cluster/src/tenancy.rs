@@ -158,13 +158,17 @@ mod tests {
 
     #[test]
     fn model_classification() {
-        let iso = TenancyModel::IsolatedInstances { vcores_per_tenant: 4.0 };
+        let iso = TenancyModel::IsolatedInstances {
+            vcores_per_tenant: 4.0,
+        };
         let pool = TenancyModel::ElasticPool {
             total_vcores: 12.0,
             min_per_tenant: 0.5,
             rebalance_every: SimDuration::from_secs(15),
         };
-        let branches = TenancyModel::Branches { vcores_per_branch: 4.0 };
+        let branches = TenancyModel::Branches {
+            vcores_per_branch: 4.0,
+        };
         assert!(!iso.shares_compute() && !iso.shares_storage());
         assert!(pool.shares_compute() && pool.shares_storage());
         assert!(!branches.shares_compute() && branches.shares_storage());

@@ -89,7 +89,8 @@ impl Props {
 
     /// Required string.
     pub fn require(&self, key: &str) -> Result<&str, ConfigError> {
-        self.get(key).ok_or_else(|| ConfigError::Missing(key.into()))
+        self.get(key)
+            .ok_or_else(|| ConfigError::Missing(key.into()))
     }
 
     /// Typed lookup with a default.
@@ -129,8 +130,8 @@ impl Props {
 
 /// Ordinal key names for the `*_con` convention.
 const ORDINALS: [&str; 12] = [
-    "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth", "ninth",
-    "tenth", "eleventh", "twelfth",
+    "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth", "ninth", "tenth",
+    "eleventh", "twelfth",
 ];
 
 /// The elastic schedule configured in a props file.
@@ -200,8 +201,8 @@ tenants = 3
 
     #[test]
     fn extending_test_time_needs_matching_con() {
-        let p = Props::parse("elastic_testTime = 4\nfirst_con=1\nsecond_con=2\nthird_con=3")
-            .unwrap();
+        let p =
+            Props::parse("elastic_testTime = 4\nfirst_con=1\nsecond_con=2\nthird_con=3").unwrap();
         let e = ElasticScheduleConfig::from_props(&p).unwrap_err();
         assert_eq!(e, ConfigError::Missing("fourth_con".into()));
     }

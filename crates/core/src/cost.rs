@@ -137,7 +137,14 @@ pub fn actual_cost(usage: &ResourceUsage, pricing: &ActualPricing) -> CostBreakd
 mod tests {
     use super::*;
 
-    fn usage(vcores: f64, mem: f64, storage: f64, iops: u64, gbps: f64, rdma: bool) -> ResourceUsage {
+    fn usage(
+        vcores: f64,
+        mem: f64,
+        storage: f64,
+        iops: u64,
+        gbps: f64,
+        rdma: bool,
+    ) -> ResourceUsage {
         ResourceUsage {
             avg_vcores: vcores,
             avg_mem_gb: mem,
@@ -177,7 +184,11 @@ mod tests {
         assert!((c.mem - 0.0063).abs() < 0.0002, "mem {}", c.mem);
         // As with the RDS row, the paper's printed total ($0.0797) exceeds
         // the sum of its own components (~$0.0601); we check the components.
-        assert!(c.total() > 0.055 && c.total() < 0.065, "total {}", c.total());
+        assert!(
+            c.total() > 0.055 && c.total() < 0.065,
+            "total {}",
+            c.total()
+        );
     }
 
     #[test]
@@ -192,8 +203,14 @@ mod tests {
     #[test]
     fn iops_dominance_story() {
         // Paper: CDB2 has 327x the IOPS cost of RDS.
-        let rds = ruc_cost(&usage(4.0, 16.0, 42.0, 1_000, 10.0, false), &RucRates::default());
-        let cdb2 = ruc_cost(&usage(4.0, 20.0, 63.0, 327_680, 10.0, false), &RucRates::default());
+        let rds = ruc_cost(
+            &usage(4.0, 16.0, 42.0, 1_000, 10.0, false),
+            &RucRates::default(),
+        );
+        let cdb2 = ruc_cost(
+            &usage(4.0, 20.0, 63.0, 327_680, 10.0, false),
+            &RucRates::default(),
+        );
         let ratio = cdb2.iops / rds.iops;
         assert!((ratio - 327.68).abs() < 1.0, "ratio {ratio}");
     }

@@ -5,8 +5,8 @@
 use cb_cluster::{measure, Node, NodeId, NodeRole, ReplicationStream, ResourceUsage};
 use cb_engine::sql::StmtRegistry;
 use cb_engine::{BufferPool, Database};
-use cb_store::StorageService;
 use cb_sim::SimTime;
+use cb_store::StorageService;
 use cb_sut::SutProfile;
 
 use crate::schema::{create_tables, load_dataset, DatasetShape, SalesTables, STMT_DB_TOML};
@@ -73,9 +73,7 @@ impl Deployment {
             ));
             streams.push(profile.replication_stream());
         }
-        let remote_pool = profile
-            .remote_pages(sim_scale)
-            .map(BufferPool::new);
+        let remote_pool = profile.remote_pages(sim_scale).map(BufferPool::new);
         Deployment {
             profile,
             sim_scale,
@@ -197,14 +195,19 @@ mod tests {
         use crate::workload::{AccessDistribution, KeyPartition, TxnMix};
         use cb_sim::SimDuration;
         let mut d = tiny(SutProfile::aws_rds());
-        let mk = |d: &Deployment| TenantSpec::constant(
-            5,
-            SimDuration::from_secs(2),
-            TxnMix::read_only(),
-            AccessDistribution::Uniform,
-            KeyPartition::whole(d.shape.orders, d.shape.customers),
-        );
-        let opts = RunOptions { vcores: VcoreControl::Fixed, ..RunOptions::default() };
+        let mk = |d: &Deployment| {
+            TenantSpec::constant(
+                5,
+                SimDuration::from_secs(2),
+                TxnMix::read_only(),
+                AccessDistribution::Uniform,
+                KeyPartition::whole(d.shape.orders, d.shape.customers),
+            )
+        };
+        let opts = RunOptions {
+            vcores: VcoreControl::Fixed,
+            ..RunOptions::default()
+        };
         let spec = mk(&d);
         let first = run(&mut d, &[spec], &opts).overall_tps();
         // Without a reset, the second run would find the CPU queued past
@@ -213,7 +216,10 @@ mod tests {
         let spec = mk(&d);
         let second = run(&mut d, &[spec], &opts).overall_tps();
         assert!(first > 100.0);
-        assert!(second > first * 0.5, "second run healthy: {second} vs {first}");
+        assert!(
+            second > first * 0.5,
+            "second run healthy: {second} vs {first}"
+        );
     }
 
     #[test]

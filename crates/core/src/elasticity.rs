@@ -14,6 +14,7 @@
 //! workload ends — the paper's CDB1 story), and reports TPS, cost,
 //! E1-Score, and per-transition scaling behaviour (paper Table VI).
 
+use cb_obs::ObsSink;
 use cb_sim::{DetRng, GaugeSeries, SimDuration, SimTime};
 
 use crate::cost::{ruc_cost, CostBreakdown, RucRates};
@@ -90,10 +91,7 @@ pub fn pareto_proportions(rng: &mut DetRng, n: usize) -> Vec<f64> {
 /// Assemble several patterns into one long schedule (used by the Fig 9
 /// comparison, which runs all four patterns back to back).
 pub fn assemble(patterns: &[ElasticPattern], tau: u32) -> Vec<u32> {
-    patterns
-        .iter()
-        .flat_map(|p| p.concurrency(tau))
-        .collect()
+    patterns.iter().flat_map(|p| p.concurrency(tau)).collect()
 }
 
 /// One slot-boundary scaling observation (paper Table VI).
@@ -142,6 +140,29 @@ pub fn evaluate_elasticity(
     sim_scale: u64,
     seed: u64,
 ) -> ElasticityReport {
+    evaluate_elasticity_with_obs(
+        profile,
+        pattern,
+        mix,
+        tau,
+        sim_scale,
+        seed,
+        &ObsSink::disabled(),
+    )
+}
+
+/// [`evaluate_elasticity`] with an observability sink: the driven run emits
+/// transaction spans, autoscaler decisions and cache/WAL events into `obs`.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_elasticity_with_obs(
+    profile: &SutProfile,
+    pattern: ElasticPattern,
+    mix: TxnMix,
+    tau: u32,
+    sim_scale: u64,
+    seed: u64,
+    obs: &ObsSink,
+) -> ElasticityReport {
     let mut dep = Deployment::new(profile.clone(), 1, sim_scale, 0, seed);
     let mut slots = pattern.concurrency(tau);
     let active = slots.len();
@@ -156,7 +177,12 @@ pub fn evaluate_elasticity(
         dist: AccessDistribution::Uniform,
         partition: KeyPartition::whole(dep.shape.orders, dep.shape.customers),
     };
-    let result = run(&mut dep, &[spec], &RunOptions { seed, ..RunOptions::default() });
+    let opts = RunOptions {
+        seed,
+        obs: obs.clone(),
+        ..RunOptions::default()
+    };
+    let result = run(&mut dep, &[spec], &opts);
 
     let active_end = SimTime::ZERO + SimDuration::from_secs(60) * active as u64;
     let avg_tps = result.avg_tps(SimTime::ZERO, active_end);
@@ -203,9 +229,10 @@ fn slot_scalings(
             let vcore_secs = gauge.integral(start, window_end);
             let mem_gb_secs = profile
                 .gb_per_vcore
-                .map_or(profile.local_mem_gb * s.as_secs_f64(), |per| vcore_secs * per);
-            vcore_secs / 3600.0 * rates.cpu_vcore_hour
-                + mem_gb_secs / 3600.0 * rates.mem_gb_hour
+                .map_or(profile.local_mem_gb * s.as_secs_f64(), |per| {
+                    vcore_secs * per
+                });
+            vcore_secs / 3600.0 * rates.cpu_vcore_hour + mem_gb_secs / 3600.0 * rates.mem_gb_hour
         });
         out.push(SlotScaling {
             slot: i,
@@ -225,8 +252,14 @@ mod tests {
     #[test]
     fn paper_tau_110_concurrency_tuples() {
         assert_eq!(ElasticPattern::SinglePeak.concurrency(110), vec![0, 110, 0]);
-        assert_eq!(ElasticPattern::LargeSpike.concurrency(110), vec![11, 88, 11]);
-        assert_eq!(ElasticPattern::SingleValley.concurrency(110), vec![44, 22, 44]);
+        assert_eq!(
+            ElasticPattern::LargeSpike.concurrency(110),
+            vec![11, 88, 11]
+        );
+        assert_eq!(
+            ElasticPattern::SingleValley.concurrency(110),
+            vec![44, 22, 44]
+        );
         assert_eq!(ElasticPattern::ZeroValley.concurrency(110), vec![55, 0, 55]);
     }
 

@@ -6,6 +6,7 @@
 //! resumption until throughput returns to its pre-failure level.
 
 use cb_cluster::FailoverTimeline;
+use cb_obs::ObsSink;
 use cb_sim::{SimDuration, SimTime};
 use cb_sut::SutProfile;
 
@@ -56,10 +57,7 @@ impl FailoverReport {
 const RECOVERY_FRACTION: f64 = 0.9;
 
 fn measure(result: &RunResult, inject: SimTime) -> FailoverOutcome {
-    let timeline = result
-        .failover
-        .clone()
-        .expect("failure was injected");
+    let timeline = result.failover.clone().expect("failure was injected");
     let rates = result.total.rate_series();
     let inject_slot = inject.as_nanos() as usize / 1_000_000_000;
     // Pre-failure TPS: average of the 10 seconds before injection.
@@ -68,8 +66,7 @@ fn measure(result: &RunResult, inject: SimTime) -> FailoverOutcome {
     let pre_tps = cb_sim::mean(&pre);
     let f_secs = timeline.downtime().as_secs_f64();
     // R: first second at or after resumption reaching the recovery target.
-    let resumed_slot =
-        (timeline.service_resumed_at.as_nanos() as usize).div_ceil(1_000_000_000);
+    let resumed_slot = (timeline.service_resumed_at.as_nanos() as usize).div_ceil(1_000_000_000);
     let target = pre_tps * RECOVERY_FRACTION;
     let recovered_slot = rates[resumed_slot.min(rates.len())..]
         .iter()
@@ -98,6 +95,18 @@ pub fn evaluate_failover(
     sim_scale: u64,
     seed: u64,
 ) -> FailoverReport {
+    evaluate_failover_with_obs(profile, concurrency, sim_scale, seed, &ObsSink::disabled())
+}
+
+/// [`evaluate_failover`] with an observability sink: both runs (RW and RO
+/// targets) emit fail-over phase spans and recovery events into `obs`.
+pub fn evaluate_failover_with_obs(
+    profile: &SutProfile,
+    concurrency: u32,
+    sim_scale: u64,
+    seed: u64,
+    obs: &ObsSink,
+) -> FailoverReport {
     let inject = SimTime::from_secs(45);
     let horizon = SimDuration::from_secs(150);
     let mut outcomes = Vec::with_capacity(2);
@@ -117,6 +126,7 @@ pub fn evaluate_failover(
                 target_ro,
             }),
             vcores: crate::driver::VcoreControl::Fixed,
+            obs: obs.clone(),
             ..RunOptions::default()
         };
         let result = run(&mut dep, &[spec], &opts);

@@ -6,6 +6,7 @@
 //! until the data is consistent" probe, computed from the replication
 //! stream's replay schedule.
 
+use cb_obs::ObsSink;
 use cb_sim::SimDuration;
 use cb_sut::SutProfile;
 
@@ -76,6 +77,18 @@ pub fn evaluate_lagtime(
     evaluate_lagtime_with_replicas(profile, concurrency, 1, sim_scale, seed)
 }
 
+/// [`evaluate_lagtime`] with an observability sink: the IUD runs emit
+/// replication ship/replay spans and lag histograms into `obs`.
+pub fn evaluate_lagtime_with_obs(
+    profile: &SutProfile,
+    concurrency: u32,
+    sim_scale: u64,
+    seed: u64,
+    obs: &ObsSink,
+) -> LagReport {
+    evaluate_lagtime_with_replicas_obs(profile, concurrency, 1, sim_scale, seed, obs)
+}
+
 /// Evaluate replication lag with `replicas` RO nodes; the C-Score divides
 /// by the replica count per the paper's Eq. 6.
 pub fn evaluate_lagtime_with_replicas(
@@ -84,6 +97,25 @@ pub fn evaluate_lagtime_with_replicas(
     replicas: usize,
     sim_scale: u64,
     seed: u64,
+) -> LagReport {
+    evaluate_lagtime_with_replicas_obs(
+        profile,
+        concurrency,
+        replicas,
+        sim_scale,
+        seed,
+        &ObsSink::disabled(),
+    )
+}
+
+/// [`evaluate_lagtime_with_replicas`] with an observability sink.
+pub fn evaluate_lagtime_with_replicas_obs(
+    profile: &SutProfile,
+    concurrency: u32,
+    replicas: usize,
+    sim_scale: u64,
+    seed: u64,
+    obs: &ObsSink,
 ) -> LagReport {
     assert!(replicas >= 1, "lag needs at least one replica");
     let mut rows = Vec::with_capacity(IUD_MIXES.len());
@@ -100,6 +132,7 @@ pub fn evaluate_lagtime_with_replicas(
             seed,
             collect_lag: true,
             vcores: VcoreControl::Fixed,
+            obs: obs.clone(),
             ..RunOptions::default()
         };
         let result = run(&mut dep, &[spec], &opts);

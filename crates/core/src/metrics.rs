@@ -206,7 +206,11 @@ mod tests {
         let o = o_score(1.0, &good).unwrap();
         assert!((o - 17.7).abs() < 0.3, "o = {o}");
         // Worse fail-over/lag lowers the score.
-        let worse = Perfect { f: 15.0, c: 14.0, ..good };
+        let worse = Perfect {
+            f: 15.0,
+            c: 14.0,
+            ..good
+        };
         assert!(o_score(1.0, &worse).unwrap() < o);
         // Undefined when a component is zero.
         assert!(o_score(1.0, &Perfect::default()).is_none());

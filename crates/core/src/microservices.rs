@@ -154,11 +154,29 @@ pub fn run_ext_txn(
     let mut opened = false;
     match kind {
         ExtTxn::CheckAvailability => {
-            execute(db, ctx, &mut txn, stmt("inv_product"), &[Value::Int(product)])?;
-            execute(db, ctx, &mut txn, stmt("inv_check_stock"), &[Value::Int(product)])?;
+            execute(
+                db,
+                ctx,
+                &mut txn,
+                stmt("inv_product"),
+                &[Value::Int(product)],
+            )?;
+            execute(
+                db,
+                ctx,
+                &mut txn,
+                stmt("inv_check_stock"),
+                &[Value::Int(product)],
+            )?;
         }
         ExtTxn::ReserveStock => {
-            let out = execute(db, ctx, &mut txn, stmt("inv_check_stock"), &[Value::Int(product)])?;
+            let out = execute(
+                db,
+                ctx,
+                &mut txn,
+                stmt("inv_check_stock"),
+                &[Value::Int(product)],
+            )?;
             if let Some(row) = out.rows.first() {
                 let qty = row[1].expect_int();
                 let reserved = row[2].expect_int();
@@ -168,7 +186,11 @@ pub fn run_ext_txn(
                     ctx,
                     &mut txn,
                     stmt("inv_reserve"),
-                    &[Value::Int(want), Value::Timestamp(now_us), Value::Int(product)],
+                    &[
+                        Value::Int(want),
+                        Value::Timestamp(now_us),
+                        Value::Int(product),
+                    ],
                 )?;
                 // Cross-service logic: low free stock opens a work order.
                 if qty - reserved - want < 20 {
@@ -352,24 +374,22 @@ mod tests {
         for _ in 0..60 {
             run(&mut e, ExtTxn::ReserveStock, 1);
         }
-        let before: i64 = e
-            .db
-            .dump_table(e.tables.stockitem)
-            .iter()
-            .map(|r| r.values[1].expect_int())
-            .sum();
+        let before: i64 =
+            e.db.dump_table(e.tables.stockitem)
+                .iter()
+                .map(|r| r.values[1].expect_int())
+                .sum();
         let mut done = 0;
         for _ in 0..50 {
             run(&mut e, ExtTxn::CompleteWorkOrder, 1);
             done += 1;
         }
         assert!(done > 0);
-        let after: i64 = e
-            .db
-            .dump_table(e.tables.stockitem)
-            .iter()
-            .map(|r| r.values[1].expect_int())
-            .sum();
+        let after: i64 =
+            e.db.dump_table(e.tables.stockitem)
+                .iter()
+                .map(|r| r.values[1].expect_int())
+                .sum();
         assert!(after > before, "restock raised stock: {before} -> {after}");
         // Completed orders flipped to DONE.
         let orders = e.db.dump_table(e.tables.workorder);
@@ -391,7 +411,11 @@ mod tests {
         registry.load(crate::schema::STMT_DB_TOML, &db).unwrap();
         // T5 cannot bind before the index exists.
         assert!(registry
-            .register("premature", "SELECT OL_ID FROM orderline WHERE OL_O_ID = ?", &db)
+            .register(
+                "premature",
+                "SELECT OL_ID FROM orderline WHERE OL_O_ID = ?",
+                &db
+            )
             .is_err());
         install_order_detail(&mut db, &mut registry);
         let stmt = registry.get("t5_order_detail").expect("registered");

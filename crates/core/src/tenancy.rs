@@ -9,6 +9,7 @@
 //! contention patterns reward strict isolation (fixed instances).
 
 use cb_cluster::ResourceUsage;
+use cb_obs::ObsSink;
 use cb_sim::{SimDuration, SimTime};
 use cb_sut::{ScalingKind, SutProfile};
 
@@ -69,16 +70,12 @@ impl TenancyPattern {
                 vec![s(30), s(30), s(30)],
                 vec![s(10), s(10), s(10)],
             ],
-            TenancyPattern::StaggeredHigh => vec![
-                vec![s(363), 0, 0],
-                vec![0, s(429), 0],
-                vec![0, 0, s(396)],
-            ],
-            TenancyPattern::StaggeredLow => vec![
-                vec![s(10), 0, 0],
-                vec![0, s(20), 0],
-                vec![0, 0, s(30)],
-            ],
+            TenancyPattern::StaggeredHigh => {
+                vec![vec![s(363), 0, 0], vec![0, s(429), 0], vec![0, 0, s(396)]]
+            }
+            TenancyPattern::StaggeredLow => {
+                vec![vec![s(10), 0, 0], vec![0, s(20), 0], vec![0, 0, s(30)]]
+            }
         }
     }
 
@@ -108,7 +105,6 @@ pub struct TenancyReport {
     /// T-Score with the vendor's actual pricing.
     pub t_score_actual: f64,
 }
-
 
 /// The resource bundle the vendor bills for a three-tenant deployment —
 /// provisioned sizes, not instantaneous serverless allocations (paper
@@ -165,6 +161,26 @@ pub fn evaluate_tenancy(
     sim_scale: u64,
     seed: u64,
 ) -> TenancyReport {
+    evaluate_tenancy_with_obs(
+        profile,
+        pattern,
+        scale,
+        sim_scale,
+        seed,
+        &ObsSink::disabled(),
+    )
+}
+
+/// [`evaluate_tenancy`] with an observability sink: every tenant run emits
+/// transaction spans (tracked per tenant) and rebalance events into `obs`.
+pub fn evaluate_tenancy_with_obs(
+    profile: &SutProfile,
+    pattern: TenancyPattern,
+    scale: f64,
+    sim_scale: u64,
+    seed: u64,
+    obs: &ObsSink,
+) -> TenancyReport {
     let slots = pattern.tenant_slots(scale);
     let n_tenants = slots.len();
     let window = SLOT * slots[0].len() as u64;
@@ -208,6 +224,7 @@ pub fn evaluate_tenancy(
             seed,
             mapping: NodeMapping::PerTenant,
             vcores,
+            obs: obs.clone(),
             ..RunOptions::default()
         };
         let result = run(&mut dep, &specs, &opts);
@@ -232,7 +249,12 @@ pub fn evaluate_tenancy(
                 dist: AccessDistribution::Uniform,
                 partition: KeyPartition::whole(dep.shape.orders, dep.shape.customers),
             };
-            let result = run(&mut dep, &[spec], &RunOptions { seed, ..RunOptions::default() });
+            let opts = RunOptions {
+                seed,
+                obs: obs.clone(),
+                ..RunOptions::default()
+            };
+            let result = run(&mut dep, &[spec], &opts);
             tps.push(result.avg_tps(SimTime::ZERO, SimTime::ZERO + window));
             usages.push(dep.data_gb_paper());
         }
@@ -251,8 +273,7 @@ pub fn evaluate_tenancy(
     // Actual dollars over minutes of work: billing minimums make short
     // runs disproportionately expensive (the paper's starred metrics).
     let actual_per_min = actual.scaled(1.0 / minutes);
-    let per_tenant_actual: Vec<f64> =
-        vec![actual_per_min.total() / n_tenants as f64; n_tenants];
+    let per_tenant_actual: Vec<f64> = vec![actual_per_min.total() / n_tenants as f64; n_tenants];
     let ts_actual = t_score(&tenant_tps, &per_tenant_actual);
 
     TenancyReport {

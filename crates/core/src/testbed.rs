@@ -7,17 +7,18 @@
 //! evaluator functions; this type just removes the boilerplate for the
 //! common "score one system" path.
 
+use cb_obs::ObsSink;
 use cb_sim::{SimDuration, SimTime};
 use cb_sut::SutProfile;
 
 use crate::cost::{ruc_cost, CostBreakdown, RucRates};
 use crate::deploy::Deployment;
 use crate::driver::{run, RunOptions, TenantSpec, VcoreControl};
-use crate::elasticity::{evaluate_elasticity, ElasticPattern, ElasticityReport};
-use crate::failover_eval::{evaluate_failover, FailoverReport};
-use crate::lagtime::{evaluate_lagtime, LagReport};
+use crate::elasticity::{evaluate_elasticity_with_obs, ElasticPattern, ElasticityReport};
+use crate::failover_eval::{evaluate_failover_with_obs, FailoverReport};
+use crate::lagtime::{evaluate_lagtime_with_obs, LagReport};
 use crate::metrics::{e1_score, e2_score, o_score, p_score, Perfect};
-use crate::tenancy::{evaluate_tenancy, TenancyPattern, TenancyReport};
+use crate::tenancy::{evaluate_tenancy_with_obs, TenancyPattern, TenancyReport};
 use crate::workload::{AccessDistribution, KeyPartition, TxnMix};
 
 /// Result of a plain OLTP measurement through the testbed.
@@ -45,6 +46,7 @@ pub struct Testbed {
     pub tau: u32,
     /// Scale for tenancy patterns (1.0 = the paper's tuples).
     pub tenancy_scale: f64,
+    obs: ObsSink,
 }
 
 impl Testbed {
@@ -57,7 +59,23 @@ impl Testbed {
             concurrency: 100,
             tau: 110,
             tenancy_scale: 0.5,
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink: every evaluator run through this
+    /// testbed then journals spans (transactions, lock waits, fail-over
+    /// phases, autoscaler decisions, replication, cache/WAL traffic) and
+    /// aggregates exact latency histograms into it. Export the collected
+    /// artifacts with [`cb_obs::write_run_artifacts`].
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability sink (disabled unless set).
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
     }
 
     /// The profile under test.
@@ -68,7 +86,13 @@ impl Testbed {
     /// Run an OLTP measurement: `mix` at the configured concurrency for
     /// `secs` simulated seconds on a 1 RW + 1 RO deployment.
     pub fn oltp(&self, scale_factor: u64, mix: TxnMix, secs: u64) -> OltpReport {
-        let mut dep = Deployment::new(self.profile.clone(), scale_factor, self.sim_scale, 1, self.seed);
+        let mut dep = Deployment::new(
+            self.profile.clone(),
+            scale_factor,
+            self.sim_scale,
+            1,
+            self.seed,
+        );
         let duration = SimDuration::from_secs(secs);
         let spec = TenantSpec::constant(
             self.concurrency,
@@ -80,6 +104,7 @@ impl Testbed {
         let opts = RunOptions {
             seed: self.seed,
             vcores: VcoreControl::Fixed,
+            obs: self.obs.clone(),
             ..RunOptions::default()
         };
         let result = run(&mut dep, &[spec], &opts);
@@ -99,22 +124,49 @@ impl Testbed {
 
     /// Run one elasticity pattern.
     pub fn elasticity(&self, pattern: ElasticPattern, mix: TxnMix) -> ElasticityReport {
-        evaluate_elasticity(&self.profile, pattern, mix, self.tau, self.sim_scale, self.seed)
+        evaluate_elasticity_with_obs(
+            &self.profile,
+            pattern,
+            mix,
+            self.tau,
+            self.sim_scale,
+            self.seed,
+            &self.obs,
+        )
     }
 
     /// Run one multi-tenancy pattern.
     pub fn tenancy(&self, pattern: TenancyPattern) -> TenancyReport {
-        evaluate_tenancy(&self.profile, pattern, self.tenancy_scale, self.sim_scale, self.seed)
+        evaluate_tenancy_with_obs(
+            &self.profile,
+            pattern,
+            self.tenancy_scale,
+            self.sim_scale,
+            self.seed,
+            &self.obs,
+        )
     }
 
     /// Run the fail-over evaluation.
     pub fn failover(&self) -> FailoverReport {
-        evaluate_failover(&self.profile, self.concurrency, self.sim_scale, self.seed)
+        evaluate_failover_with_obs(
+            &self.profile,
+            self.concurrency,
+            self.sim_scale,
+            self.seed,
+            &self.obs,
+        )
     }
 
     /// Run the replication-lag evaluation.
     pub fn lagtime(&self) -> LagReport {
-        evaluate_lagtime(&self.profile, self.concurrency.min(50), self.sim_scale, self.seed)
+        evaluate_lagtime_with_obs(
+            &self.profile,
+            self.concurrency.min(50),
+            self.sim_scale,
+            self.seed,
+            &self.obs,
+        )
     }
 
     /// Read-only TPS with `ro` replicas (the E2 probe).
@@ -131,6 +183,7 @@ impl Testbed {
         let opts = RunOptions {
             seed: self.seed,
             vcores: VcoreControl::Fixed,
+            obs: self.obs.clone(),
             ..RunOptions::default()
         };
         run(&mut dep, &[spec], &opts).avg_tps(SimTime::ZERO, SimTime::ZERO + duration)

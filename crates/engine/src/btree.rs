@@ -144,7 +144,10 @@ impl BTree {
             let page = store.read(page_id);
             log.push((page_id, false));
             if is_leaf(page) {
-                return Descent { path, leaf: page_id };
+                return Descent {
+                    path,
+                    leaf: page_id,
+                };
             }
             let idx = internal_find_child(page, key);
             let child = internal_child(page, idx);
@@ -493,7 +496,9 @@ mod tests {
             assert_eq!(tree.get(&store, k, &mut log), Some(payload(k)));
         }
         // Strided order exercises mid-page inserts.
-        let keys: Vec<i64> = (0..5000).map(|i| (i * 2654435761u64 % 5000) as i64).collect();
+        let keys: Vec<i64> = (0..5000)
+            .map(|i| (i * 2654435761u64 % 5000) as i64)
+            .collect();
         let mut seen = std::collections::HashSet::new();
         let uniq: Vec<i64> = keys.into_iter().filter(|k| seen.insert(*k)).collect();
         let (store2, tree2) = build(uniq.iter().copied());
@@ -562,7 +567,10 @@ mod tests {
             seen.push(k);
             true
         });
-        assert_eq!(seen, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120]);
+        assert_eq!(
+            seen,
+            vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120]
+        );
         // Early stop.
         let mut first = None;
         tree.scan_range(&store, 0, i64::MAX, &mut log, |k, _| {
@@ -599,7 +607,9 @@ mod tests {
         // Deterministic pseudo-random op mix.
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..30_000 {

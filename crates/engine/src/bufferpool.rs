@@ -295,7 +295,10 @@ mod tests {
         for round in 0..3 {
             for k in 0..20u64 {
                 let a = pool.touch(PageId(k), false);
-                assert!(!a.hit, "round {round}: sequential working set of 2x capacity never hits");
+                assert!(
+                    !a.hit,
+                    "round {round}: sequential working set of 2x capacity never hits"
+                );
             }
         }
     }

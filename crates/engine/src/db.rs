@@ -168,10 +168,7 @@ impl Database {
 
     /// Create a table; returns its id. Names must be unique.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> TableId {
-        assert!(
-            self.table_id(name).is_none(),
-            "table {name} already exists"
-        );
+        assert!(self.table_id(name).is_none(), "table {name} already exists");
         let id = TableId(self.tables.len() as u16);
         let tree = BTree::create(&mut self.pages);
         self.tables.push(TableMeta {
@@ -419,7 +416,8 @@ impl Database {
         let lsn = self.log.append(txn.id, op);
         txn.wal_bytes += self.log.get(lsn).expect("just appended").approx_bytes();
         txn.writes.push((table, key));
-        txn.undo.push(self.log.get(lsn).expect("just appended").clone());
+        txn.undo
+            .push(self.log.get(lsn).expect("just appended").clone());
         Ok(key)
     }
 
@@ -440,12 +438,7 @@ impl Database {
     }
 
     /// Point lookup.
-    pub fn get(
-        &self,
-        ctx: &mut ExecCtx<'_>,
-        table: TableId,
-        key: i64,
-    ) -> Option<Row> {
+    pub fn get(&self, ctx: &mut ExecCtx<'_>, table: TableId, key: i64) -> Option<Row> {
         let t = &self.tables[table.0 as usize];
         let mut alog = AccessLog::new();
         ctx.charge_stmt();
@@ -495,7 +488,8 @@ impl Database {
         let lsn = self.log.append(txn.id, op);
         txn.wal_bytes += self.log.get(lsn).expect("just appended").approx_bytes();
         txn.writes.push((table, key));
-        txn.undo.push(self.log.get(lsn).expect("just appended").clone());
+        txn.undo
+            .push(self.log.get(lsn).expect("just appended").clone());
         Ok(true)
     }
 
@@ -524,7 +518,8 @@ impl Database {
         let lsn = self.log.append(txn.id, op);
         txn.wal_bytes += self.log.get(lsn).expect("just appended").approx_bytes();
         txn.writes.push((table, key));
-        txn.undo.push(self.log.get(lsn).expect("just appended").clone());
+        txn.undo
+            .push(self.log.get(lsn).expect("just appended").clone());
         true
     }
 
@@ -585,7 +580,12 @@ impl Database {
                     Self::index_remove(&mut self.pages, t, &Row::decode(row), *key, &mut alog);
                     t.rows -= 1;
                 }
-                WalOp::Update { table, key, before, after } => {
+                WalOp::Update {
+                    table,
+                    key,
+                    before,
+                    after,
+                } => {
                     let t = &mut self.tables[table.0 as usize];
                     let ok = t.tree.update(&mut self.pages, *key, before, &mut alog);
                     debug_assert!(ok, "undo of update: row must exist");
@@ -644,7 +644,13 @@ impl Database {
     /// Recovery/replication internal: apply an insert image directly (no
     /// WAL, no cost charging). Panics on duplicate keys — replay from a
     /// consistent base never sees one.
-    pub fn apply_insert_raw(&mut self, table: TableId, key: i64, image: &[u8], alog: &mut AccessLog) {
+    pub fn apply_insert_raw(
+        &mut self,
+        table: TableId,
+        key: i64,
+        image: &[u8],
+        alog: &mut AccessLog,
+    ) {
         let t = &mut self.tables[table.0 as usize];
         t.tree
             .insert(&mut self.pages, key, image, alog)
@@ -655,7 +661,13 @@ impl Database {
     }
 
     /// Recovery/replication internal: apply an update image directly.
-    pub fn apply_update_raw(&mut self, table: TableId, key: i64, image: &[u8], alog: &mut AccessLog) {
+    pub fn apply_update_raw(
+        &mut self,
+        table: TableId,
+        key: i64,
+        image: &[u8],
+        alog: &mut AccessLog,
+    ) {
         let t = &mut self.tables[table.0 as usize];
         let before = t
             .tree
@@ -814,7 +826,13 @@ mod tests {
         let err = db
             .insert(&mut ctx, &mut txn, orders, order_row(1, "NEW", 2))
             .unwrap_err();
-        assert_eq!(err, EngineError::Duplicate { table: orders, key: 1 });
+        assert_eq!(
+            err,
+            EngineError::Duplicate {
+                table: orders,
+                key: 1
+            }
+        );
         db.commit(&mut ctx, txn);
     }
 
@@ -836,7 +854,10 @@ mod tests {
         let miss = db.update(&mut ctx, &mut txn, orders, 99, |_| {}).unwrap();
         assert!(!miss);
         db.commit(&mut ctx, txn);
-        assert_eq!(db.get(&mut ctx, orders, 5).unwrap(), order_row(5, "PAID", 150));
+        assert_eq!(
+            db.get(&mut ctx, orders, 5).unwrap(),
+            order_row(5, "PAID", 150)
+        );
     }
 
     #[test]
@@ -937,7 +958,12 @@ mod tests {
             .map(|r| std::mem::discriminant(&r.op))
             .collect();
         assert_eq!(ops.len(), 3); // Begin, Insert, Commit
-        let kinds: Vec<_> = db.log().records_after(Lsn::ZERO).iter().map(|r| &r.op).collect();
+        let kinds: Vec<_> = db
+            .log()
+            .records_after(Lsn::ZERO)
+            .iter()
+            .map(|r| &r.op)
+            .collect();
         assert!(matches!(kinds[0], WalOp::Begin));
         assert!(matches!(kinds[1], WalOp::Insert { key: 1, .. }));
         assert!(matches!(kinds[2], WalOp::Commit));

@@ -7,6 +7,7 @@
 //! appends). The cache hierarchy is local buffer pool → optional shared
 //! remote pool (memory disaggregation) → storage service.
 
+use cb_obs::{Category, ObsSink};
 use cb_sim::{SimDuration, SimTime};
 use cb_store::{PageId, StorageService};
 
@@ -88,6 +89,10 @@ pub struct ExecCtx<'a> {
     pub io: SimDuration,
     /// Counters.
     pub stats: ExecStats,
+    /// Observability sink (no-op unless enabled via [`ExecCtx::with_obs`]).
+    obs: ObsSink,
+    /// Track id for emitted events (the executing node).
+    track: u64,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -108,7 +113,18 @@ impl<'a> ExecCtx<'a> {
             cpu: SimDuration::ZERO,
             io: SimDuration::ZERO,
             stats: ExecStats::default(),
+            obs: ObsSink::disabled(),
+            track: 0,
         }
+    }
+
+    /// Attach an observability sink; `track` identifies the executing node
+    /// in emitted events. Cache misses, write-backs and WAL appends are
+    /// then journaled and aggregated into histograms.
+    pub fn with_obs(mut self, obs: &ObsSink, track: u64) -> Self {
+        self.obs = obs.clone();
+        self.track = track;
+        self
     }
 
     /// The virtual instant the accumulated I/O has reached (device queues
@@ -127,6 +143,7 @@ impl<'a> ExecCtx<'a> {
         if access.hit {
             self.stats.local_hits += 1;
             self.io += self.model.local_hit;
+            self.obs.add("bufferpool.hits", 1);
             return;
         }
         // Local miss: try the remote tier, then storage.
@@ -137,6 +154,7 @@ impl<'a> ExecCtx<'a> {
                 served_remote = true;
                 self.stats.remote_hits += 1;
                 self.io += self.model.remote_hit;
+                self.obs.add("bufferpool.remote_hits", 1);
             }
             // A dirty page falling out of the (huge) remote pool goes to
             // storage; rare, but account for it.
@@ -144,13 +162,19 @@ impl<'a> ExecCtx<'a> {
                 let at = self.io_now();
                 self.io += self.storage.page_write_cost(at);
                 self.stats.page_writebacks += 1;
+                self.obs.add("bufferpool.writebacks", 1);
             }
         }
         if !served_remote {
             let at = self.io_now();
-            self.io += self.storage.page_read_cost(at);
+            let cost = self.storage.page_read_cost(at);
+            self.io += cost;
             self.cpu += self.model.cpu_per_storage_read;
             self.stats.storage_reads += 1;
+            self.obs.add("bufferpool.misses", 1);
+            self.obs.record("bufferpool.miss_ns", cost.as_nanos());
+            self.obs
+                .instant(Category::BufferPool, "miss", self.track, at);
         }
         // Local eviction write-back: to the remote tier if present (cheap),
         // otherwise to storage.
@@ -161,8 +185,11 @@ impl<'a> ExecCtx<'a> {
             } else {
                 let at = self.io_now();
                 self.io += self.storage.page_write_cost(at);
+                self.obs
+                    .instant(Category::BufferPool, "flush", self.track, at);
             }
             self.stats.page_writebacks += 1;
+            self.obs.add("bufferpool.writebacks", 1);
         }
     }
 
@@ -182,7 +209,11 @@ impl<'a> ExecCtx<'a> {
     pub fn charge_log_append(&mut self, bytes: u64) {
         self.cpu += self.model.cpu_per_commit;
         let at = self.io_now();
-        self.io += self.storage.log_append_cost(at, bytes);
+        let cost = self.storage.log_append_cost(at, bytes);
+        self.io += cost;
+        self.obs.add("wal.appends", 1);
+        self.obs.record("wal.append_ns", cost.as_nanos());
+        self.obs.instant(Category::Wal, "append", self.track, at);
     }
 
     /// Charge a background-style write-back of one page (checkpoints).
@@ -190,6 +221,9 @@ impl<'a> ExecCtx<'a> {
         let at = self.io_now();
         self.io += self.storage.page_write_cost(at);
         self.stats.page_writebacks += 1;
+        self.obs.add("bufferpool.writebacks", 1);
+        self.obs
+            .instant(Category::BufferPool, "flush", self.track, at);
     }
 
     /// Total simulated latency accumulated so far (CPU demand is reported
@@ -289,7 +323,9 @@ mod tests {
         let mut ctx = ExecCtx::new(
             SimTime::ZERO,
             &mut local,
-            Some(RemoteTier { pool: &mut remote_pool }),
+            Some(RemoteTier {
+                pool: &mut remote_pool,
+            }),
             &mut storage,
             &model,
         );
@@ -308,7 +344,9 @@ mod tests {
         let mut ctx = ExecCtx::new(
             SimTime::ZERO,
             &mut local,
-            Some(RemoteTier { pool: &mut remote_pool }),
+            Some(RemoteTier {
+                pool: &mut remote_pool,
+            }),
             &mut storage,
             &model,
         );
@@ -331,10 +369,7 @@ mod tests {
         ctx.charge_stmt();
         ctx.charge_rows(3);
         let cpu_only = ctx.cpu;
-        assert_eq!(
-            cpu_only,
-            model.cpu_per_stmt + model.cpu_per_row * 3
-        );
+        assert_eq!(cpu_only, model.cpu_per_stmt + model.cpu_per_row * 3);
         assert_eq!(ctx.io, SimDuration::ZERO);
         ctx.charge_log_append(256);
         assert!(ctx.io >= SimDuration::from_micros(90));

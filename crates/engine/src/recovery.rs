@@ -80,7 +80,9 @@ pub fn apply_redo(db: &mut Database, rec: &WalRecord) {
             // Split borrows: tree ops need &mut pages and &mut tree.
             db.apply_insert_raw(t, *key, row, &mut alog);
         }
-        WalOp::Update { table, key, after, .. } => {
+        WalOp::Update {
+            table, key, after, ..
+        } => {
             db.apply_update_raw(*table, *key, after, &mut alog);
         }
         WalOp::Delete { table, key, .. } => {
@@ -190,7 +192,9 @@ mod tests {
             let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool2, None, &mut st2, &model);
             let et = expected.table_id("t").unwrap();
             let mut txn = expected.begin();
-            expected.insert(&mut ctx, &mut txn, et, row(11, 110)).unwrap();
+            expected
+                .insert(&mut ctx, &mut txn, et, row(11, 110))
+                .unwrap();
             expected
                 .update(&mut ctx, &mut txn, et, 1, |r| r.values[1] = Value::Int(999))
                 .unwrap();

@@ -11,7 +11,7 @@
 //! covers the workload's shapes — an order has ~10 orderlines — and the
 //! bound is enforced loudly rather than silently degrading.
 
-use cb_store::{PageStore, PageId};
+use cb_store::{PageId, PageStore};
 
 use crate::btree::{AccessLog, BTree};
 

@@ -164,7 +164,10 @@ impl<'a> Slotted<'a> {
         self.set_garbage(self.garbage() + len);
         let dst = self.slot_off(idx);
         let bytes = self.page.as_bytes_mut();
-        bytes.copy_within(dst + SLOT_BYTES..self.base + HDR_BYTES + n * SLOT_BYTES, dst);
+        bytes.copy_within(
+            dst + SLOT_BYTES..self.base + HDR_BYTES + n * SLOT_BYTES,
+            dst,
+        );
         self.set_nslots(n - 1);
     }
 
@@ -200,7 +203,8 @@ impl<'a> Slotted<'a> {
         for i in mid..n {
             let key = self.key_at(i);
             let payload = self.payload_at(i).to_vec();
-            dst.insert(key, &payload).expect("fresh page cannot be full");
+            dst.insert(key, &payload)
+                .expect("fresh page cannot be full");
         }
         // Truncate: account dead payload bytes, then drop the slots.
         let mut dead = 0usize;

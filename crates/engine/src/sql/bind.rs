@@ -47,7 +47,10 @@ impl fmt::Display for BindError {
                 write!(f, "WHERE column {c} is not the primary key")
             }
             BindError::Arity { expected, found } => {
-                write!(f, "INSERT has {found} values but the table has {expected} columns")
+                write!(
+                    f,
+                    "INSERT has {found} values but the table has {expected} columns"
+                )
             }
             BindError::MisplacedDefault => {
                 write!(f, "DEFAULT is only allowed in the key position of INSERT")
@@ -135,21 +138,24 @@ pub enum BoundStmt {
     },
 }
 
-fn bind_expr(expr: &Expr, db: &Database, table: TableId, table_name: &str) -> Result<BoundExpr, BindError> {
+fn bind_expr(
+    expr: &Expr,
+    db: &Database,
+    table: TableId,
+    table_name: &str,
+) -> Result<BoundExpr, BindError> {
     match expr {
         Expr::Param(n) => Ok(BoundExpr::Param(*n)),
         Expr::Int(v) => Ok(BoundExpr::Int(*v)),
         Expr::Str(s) => Ok(BoundExpr::Str(s.clone())),
         Expr::Default => Err(BindError::MisplacedDefault),
         Expr::Column(name) => {
-            let idx = db
-                .table(table)
-                .schema()
-                .column_index(name)
-                .ok_or_else(|| BindError::UnknownColumn {
+            let idx = db.table(table).schema().column_index(name).ok_or_else(|| {
+                BindError::UnknownColumn {
                     table: table_name.to_string(),
                     column: name.clone(),
-                })?;
+                }
+            })?;
             Ok(BoundExpr::Col(idx))
         }
         Expr::Add(a, b) => Ok(BoundExpr::Add(
@@ -328,16 +334,12 @@ impl From<EngineError> for ExecError {
 
 fn eval(expr: &BoundExpr, params: &[Value], row: Option<&Row>) -> Result<Value, ExecError> {
     match expr {
-        BoundExpr::Param(n) => params
-            .get(*n)
-            .cloned()
-            .ok_or(ExecError::MissingParam(*n)),
+        BoundExpr::Param(n) => params.get(*n).cloned().ok_or(ExecError::MissingParam(*n)),
         BoundExpr::Int(v) => Ok(Value::Int(*v)),
         BoundExpr::Str(s) => Ok(Value::Text(s.clone())),
         BoundExpr::Col(i) => {
-            let row = row.ok_or_else(|| {
-                ExecError::Type("column reference outside row context".into())
-            })?;
+            let row =
+                row.ok_or_else(|| ExecError::Type("column reference outside row context".into()))?;
             Ok(row.values[*i].clone())
         }
         BoundExpr::Add(a, b) => {
@@ -354,7 +356,9 @@ fn eval(expr: &BoundExpr, params: &[Value], row: Option<&Row>) -> Result<Value, 
 fn eval_key(expr: &BoundExpr, params: &[Value]) -> Result<i64, ExecError> {
     match eval(expr, params, None)? {
         Value::Int(k) => Ok(k),
-        other => Err(ExecError::Type(format!("key must be an integer, got {other}"))),
+        other => Err(ExecError::Type(format!(
+            "key must be an integer, got {other}"
+        ))),
     }
 }
 
@@ -414,7 +418,12 @@ pub fn execute(
                 affected: 1,
             })
         }
-        BoundStmt::Select { table, columns, key, via } => {
+        BoundStmt::Select {
+            table,
+            columns,
+            key,
+            via,
+        } => {
             let k = eval_key(key, params)?;
             let rows = match via {
                 Access::PrimaryKey => db.get(ctx, *table, k).into_iter().collect::<Vec<_>>(),
@@ -550,9 +559,7 @@ mod tests {
         );
         db.load_bulk(
             customer,
-            (1..=10).map(|i| {
-                Row::new(vec![Value::Int(i), Value::Int(1000), Value::Timestamp(0)])
-            }),
+            (1..=10).map(|i| Row::new(vec![Value::Int(i), Value::Int(1000), Value::Timestamp(0)])),
         );
         db
     }
@@ -572,7 +579,13 @@ mod tests {
             }
         }
         fn ctx(&mut self) -> ExecCtx<'_> {
-            ExecCtx::new(SimTime::ZERO, &mut self.pool, None, &mut self.storage, &self.model)
+            ExecCtx::new(
+                SimTime::ZERO,
+                &mut self.pool,
+                None,
+                &mut self.storage,
+                &self.model,
+            )
         }
     }
 
@@ -589,7 +602,10 @@ mod tests {
         let mut txn = db.begin();
         let out = execute(&mut db, &mut ctx, &mut txn, &stmt, &[Value::Int(3)]).unwrap();
         assert_eq!(out.affected, 1);
-        assert_eq!(out.rows, vec![vec![Value::Int(3), Value::Text("NEW".into())]]);
+        assert_eq!(
+            out.rows,
+            vec![vec![Value::Int(3), Value::Text("NEW".into())]]
+        );
         // Missing key: zero rows.
         let out = execute(&mut db, &mut ctx, &mut txn, &stmt, &[Value::Int(99)]).unwrap();
         assert_eq!(out.affected, 0);
@@ -656,7 +672,11 @@ mod tests {
         db.commit(&mut ctx, txn);
         let row = db.get(&mut ctx, orders, 11).expect("auto key = 11");
         assert_eq!(row.values[3], Value::Int(500));
-        assert_eq!(row.values[4], Value::Timestamp(123), "Int coerced to Timestamp column");
+        assert_eq!(
+            row.values[4],
+            Value::Timestamp(123),
+            "Int coerced to Timestamp column"
+        );
     }
 
     #[test]
@@ -687,7 +707,13 @@ mod tests {
         .unwrap_err();
         assert_eq!(e, BindError::NotPrimaryKey("O_STATUS".into()));
         let e = bind(&parse("INSERT INTO customer VALUES (1, 2)").unwrap(), &db).unwrap_err();
-        assert_eq!(e, BindError::Arity { expected: 3, found: 2 });
+        assert_eq!(
+            e,
+            BindError::Arity {
+                expected: 3,
+                found: 2
+            }
+        );
         let e = bind(
             &parse("UPDATE customer SET C_CREDIT=DEFAULT WHERE C_ID=?").unwrap(),
             &db,
@@ -705,8 +731,14 @@ mod tests {
         let mut txn = db.begin();
         let e = execute(&mut db, &mut ctx, &mut txn, &stmt, &[]).unwrap_err();
         assert_eq!(e, ExecError::MissingParam(0));
-        let e = execute(&mut db, &mut ctx, &mut txn, &stmt, &[Value::Text("x".into())])
-            .unwrap_err();
+        let e = execute(
+            &mut db,
+            &mut ctx,
+            &mut txn,
+            &stmt,
+            &[Value::Text("x".into())],
+        )
+        .unwrap_err();
         assert!(matches!(e, ExecError::Type(_)));
         db.commit(&mut ctx, txn);
     }
@@ -722,7 +754,10 @@ mod tests {
         let ins_auto = prep(&db, "INSERT INTO orders VALUES (DEFAULT, ?, 'NEW', ?, ?)");
         assert_eq!(write_key(&ins_auto, &[Value::Int(1)]), None);
         let ins_explicit = prep(&db, "INSERT INTO orders VALUES (?, ?, 'NEW', ?, ?)");
-        assert_eq!(write_key(&ins_explicit, &[Value::Int(42)]), Some((orders, 42)));
+        assert_eq!(
+            write_key(&ins_explicit, &[Value::Int(42)]),
+            Some((orders, 42))
+        );
         let sel = prep(&db, "SELECT O_ID FROM orders WHERE O_ID=?");
         assert_eq!(write_key(&sel, &[Value::Int(1)]), None);
     }

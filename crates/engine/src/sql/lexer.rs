@@ -80,31 +80,52 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
             '?' => {
-                out.push(Token { kind: TokenKind::Question, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Question,
+                    pos: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, pos: i });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, pos: i });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { kind: TokenKind::Plus, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::Star, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             '\'' => {
@@ -195,7 +216,10 @@ mod tests {
     fn lexes_the_paper_statements() {
         let toks = kinds("INSERT INTO orderline VALUES (DEFAULT, ?,?,?,?)");
         assert_eq!(toks[0], TokenKind::Ident("INSERT".into()));
-        assert_eq!(toks.iter().filter(|t| **t == TokenKind::Question).count(), 4);
+        assert_eq!(
+            toks.iter().filter(|t| **t == TokenKind::Question).count(),
+            4
+        );
 
         let toks = kinds("UPDATE orders SET O_UPDATEDDATE=?, O_STATUS='PAID' WHERE O_ID=?");
         assert!(toks.contains(&TokenKind::Str("PAID".into())));
@@ -209,7 +233,10 @@ mod tests {
 
     #[test]
     fn negative_and_positive_ints() {
-        assert_eq!(kinds("-42 17"), vec![TokenKind::Int(-42), TokenKind::Int(17)]);
+        assert_eq!(
+            kinds("-42 17"),
+            vec![TokenKind::Int(-42), TokenKind::Int(17)]
+        );
     }
 
     #[test]

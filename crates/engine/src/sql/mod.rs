@@ -7,6 +7,8 @@ pub mod lexer;
 pub mod parser;
 pub mod registry;
 
-pub use bind::{bind, execute, write_key, Access, BindError, BoundExpr, BoundStmt, ExecError, StmtOutput};
+pub use bind::{
+    bind, execute, write_key, Access, BindError, BoundExpr, BoundStmt, ExecError, StmtOutput,
+};
 pub use parser::{parse, Assign, Ast, Expr, ParseError};
 pub use registry::{PreparedStmt, RegistryError, StmtRegistry};

@@ -322,12 +322,16 @@ mod tests {
 
     #[test]
     fn parses_t2_statements() {
-        let s1 = parse(
-            "SELECT O_ID, O_C_ID, O_TOTALAMOUNT, O_UPDATEDDATE FROM orders WHERE O_ID=?",
-        )
-        .unwrap();
+        let s1 =
+            parse("SELECT O_ID, O_C_ID, O_TOTALAMOUNT, O_UPDATEDDATE FROM orders WHERE O_ID=?")
+                .unwrap();
         match s1 {
-            Ast::Select { columns: Some(cols), key_column, key, .. } => {
+            Ast::Select {
+                columns: Some(cols),
+                key_column,
+                key,
+                ..
+            } => {
                 assert_eq!(cols.len(), 4);
                 assert_eq!(key_column, "O_ID");
                 assert_eq!(key, Expr::Param(0));
@@ -380,7 +384,9 @@ mod tests {
     #[test]
     fn select_star() {
         match parse("SELECT * FROM customer WHERE C_ID = 5").unwrap() {
-            Ast::Select { columns: None, key, .. } => assert_eq!(key, Expr::Int(5)),
+            Ast::Select {
+                columns: None, key, ..
+            } => assert_eq!(key, Expr::Int(5)),
             other => panic!("unexpected: {other:?}"),
         }
     }

@@ -228,7 +228,9 @@ t_pay = "UPDATE orders SET O_STATUS='PAID' WHERE O_ID=?"
     fn bad_sql_is_reported_with_name() {
         let db = db();
         let mut reg = StmtRegistry::new();
-        let e = reg.register("broken", "DROP TABLE orders", &db).unwrap_err();
+        let e = reg
+            .register("broken", "DROP TABLE orders", &db)
+            .unwrap_err();
         assert!(matches!(e, RegistryError::Parse { .. }));
         let e = reg
             .register("unbound", "SELECT X FROM missing WHERE X=?", &db)

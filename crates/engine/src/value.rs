@@ -320,7 +320,10 @@ mod tests {
         let arity = Row::new(vec![Value::Int(1)]);
         assert!(matches!(
             schema.validate(&arity),
-            Err(SchemaError::Arity { expected: 2, found: 1 })
+            Err(SchemaError::Arity {
+                expected: 2,
+                found: 1
+            })
         ));
 
         let ty = Row::new(vec![Value::Int(1), Value::Int(2)]);

@@ -3,7 +3,9 @@
 
 use cb_engine::recovery::rebuild;
 use cb_engine::sql::{bind, execute, parse, Access, BoundStmt};
-use cb_engine::{BufferPool, ColumnDef, CostModel, DataType, Database, ExecCtx, Row, Schema, Value};
+use cb_engine::{
+    BufferPool, ColumnDef, CostModel, DataType, Database, ExecCtx, Row, Schema, Value,
+};
 use cb_sim::SimTime;
 use cb_store::StorageService;
 
@@ -47,7 +49,13 @@ impl Env {
         }
     }
     fn ctx(&mut self) -> ExecCtx<'_> {
-        ExecCtx::new(SimTime::ZERO, &mut self.pool, None, &mut self.storage, &self.model)
+        ExecCtx::new(
+            SimTime::ZERO,
+            &mut self.pool,
+            None,
+            &mut self.storage,
+            &self.model,
+        )
     }
 }
 
@@ -59,7 +67,13 @@ fn sql_select_uses_the_index() {
         &db,
     )
     .unwrap();
-    assert!(matches!(stmt, BoundStmt::Select { via: Access::SecondaryIndex(1), .. }));
+    assert!(matches!(
+        stmt,
+        BoundStmt::Select {
+            via: Access::SecondaryIndex(1),
+            ..
+        }
+    ));
     let mut env = Env::new();
     let mut ctx = env.ctx();
     let mut txn = db.begin();
@@ -123,7 +137,11 @@ fn abort_restores_the_index() {
     let t = db.table_id("orderline").unwrap();
     let mut env = Env::new();
     let mut ctx = env.ctx();
-    let before: Vec<i64> = db.index_lookup(&mut ctx, t, 1, 5).iter().map(Row::key).collect();
+    let before: Vec<i64> = db
+        .index_lookup(&mut ctx, t, 1, 5)
+        .iter()
+        .map(Row::key)
+        .collect();
     let mut txn = db.begin();
     db.insert(
         &mut ctx,
@@ -133,10 +151,16 @@ fn abort_restores_the_index() {
     )
     .unwrap();
     db.delete(&mut ctx, &mut txn, t, 41);
-    db.update(&mut ctx, &mut txn, t, 42, |row| row.values[1] = Value::Int(999))
-        .unwrap();
+    db.update(&mut ctx, &mut txn, t, 42, |row| {
+        row.values[1] = Value::Int(999)
+    })
+    .unwrap();
     db.abort(&mut ctx, txn);
-    let after: Vec<i64> = db.index_lookup(&mut ctx, t, 1, 5).iter().map(Row::key).collect();
+    let after: Vec<i64> = db
+        .index_lookup(&mut ctx, t, 1, 5)
+        .iter()
+        .map(Row::key)
+        .collect();
     assert_eq!(before, after, "abort must fully restore index state");
     assert!(db.index_lookup(&mut ctx, t, 1, 999).is_empty());
 }
@@ -156,8 +180,10 @@ fn recovery_replay_maintains_indexes() {
             Row::new(vec![Value::Int(900), Value::Int(7), Value::Int(5)]),
         )
         .unwrap();
-        db.update(&mut ctx, &mut txn, t, 61, |row| row.values[1] = Value::Int(8))
-            .unwrap();
+        db.update(&mut ctx, &mut txn, t, 61, |row| {
+            row.values[1] = Value::Int(8)
+        })
+        .unwrap();
         db.delete(&mut ctx, &mut txn, t, 62);
         db.commit(&mut ctx, txn);
     }
@@ -173,7 +199,11 @@ fn recovery_replay_maintains_indexes() {
     );
     let mut ctx = env.ctx();
     for order in [6, 7, 8, 9] {
-        let live: Vec<i64> = db.index_lookup(&mut ctx, t, 1, order).iter().map(Row::key).collect();
+        let live: Vec<i64> = db
+            .index_lookup(&mut ctx, t, 1, order)
+            .iter()
+            .map(Row::key)
+            .collect();
         let rec: Vec<i64> = rebuilt
             .index_lookup(&mut ctx2, rt, 1, order)
             .iter()

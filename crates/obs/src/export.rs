@@ -1,0 +1,323 @@
+//! Deterministic exporters for traces and histograms.
+//!
+//! Three formats: Chrome trace-event JSON (loadable in `chrome://tracing`
+//! or Perfetto), histogram summaries as JSON and CSV, and a plain-ASCII
+//! timeline for terminals. All output is produced by walking
+//! order-deterministic containers and formatting integers, so two runs with
+//! the same seed emit byte-identical artifacts — the files double as
+//! regression fixtures.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::hist::LogHistogram;
+use crate::trace::{EventKind, Tracer};
+
+/// Format virtual nanoseconds as microseconds with fixed three-decimal
+/// precision (the Chrome trace `ts`/`dur` unit), avoiding float formatting.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Minimal JSON string escaping for the names we emit.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the journal as Chrome trace-event JSON. Spans become complete
+/// (`"ph":"X"`) events and instants become `"ph":"i"`; tracks map to `tid`.
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for ev in tracer.journal().iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{}",
+            escape(&ev.name),
+            ev.cat.as_str(),
+            ev.track,
+            micros(ev.start.as_nanos()),
+        );
+        match ev.kind {
+            EventKind::Span { dur_ns } => {
+                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", micros(dur_ns));
+            }
+            EventKind::Instant => {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+        }
+        out.push('}');
+    }
+    let _ = writeln!(
+        out,
+        "],\"otherData\":{{\"dropped\":{},\"retained\":{}}}}}",
+        tracer.journal().dropped(),
+        tracer.journal().len(),
+    );
+    out
+}
+
+fn summary_fields(h: &LogHistogram) -> [(&'static str, u64); 7] {
+    [
+        ("count", h.count()),
+        ("min_ns", h.min()),
+        ("p50_ns", h.percentile(50.0)),
+        ("p95_ns", h.percentile(95.0)),
+        ("p99_ns", h.percentile(99.0)),
+        ("p999_ns", h.percentile(99.9)),
+        ("max_ns", h.max()),
+    ]
+}
+
+/// Histogram and counter summaries as a JSON document.
+pub fn histogram_summary_json(tracer: &Tracer) -> String {
+    let mut out = String::from("{\"histograms\":{");
+    let mut first = true;
+    for (name, h) in tracer.histograms() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{{", escape(name));
+        for (i, (k, v)) in summary_fields(h).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        // The mean is exact (tracked as a 128-bit sum); emit in nanos with
+        // fixed precision so output stays byte-stable.
+        let mean = h.mean();
+        let _ = write!(
+            out,
+            ",\"mean_ns\":{}.{:03}",
+            mean as u64,
+            ((mean * 1000.0) as u64) % 1000
+        );
+        out.push('}');
+    }
+    out.push_str("},\"counters\":{");
+    let mut first = true;
+    for (name, v) in tracer.counters() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{}", escape(name), v);
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// Histogram summaries as CSV, one row per histogram.
+pub fn histogram_csv(tracer: &Tracer) -> String {
+    let mut out = String::from("name,count,min_ns,p50_ns,p95_ns,p99_ns,p999_ns,max_ns,mean_ns\n");
+    for (name, h) in tracer.histograms() {
+        let mean = h.mean();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}.{:03}",
+            name,
+            h.count(),
+            h.min(),
+            h.percentile(50.0),
+            h.percentile(95.0),
+            h.percentile(99.0),
+            h.percentile(99.9),
+            h.max(),
+            mean as u64,
+            ((mean * 1000.0) as u64) % 1000,
+        );
+    }
+    out
+}
+
+/// Width of the ASCII timeline plot area.
+const TIMELINE_COLS: usize = 72;
+
+/// Render retained events as an ASCII timeline: one row per
+/// (category, name) pair, `#` cells where at least one event overlaps that
+/// time slice, and a µs axis. Good enough to eyeball failover phases and
+/// checkpoint cadence without leaving the terminal.
+pub fn ascii_timeline(tracer: &Tracer) -> String {
+    let journal = tracer.journal();
+    if journal.is_empty() {
+        return String::from("(no events)\n");
+    }
+    let t0 = journal
+        .iter()
+        .map(|e| e.start.as_nanos())
+        .min()
+        .unwrap_or(0);
+    let t1 = journal
+        .iter()
+        .map(|e| e.end().as_nanos())
+        .max()
+        .unwrap_or(t0);
+    let span = (t1 - t0).max(1);
+
+    // Row per (cat, name), in first-seen order for stable output.
+    let mut rows: Vec<(String, [bool; TIMELINE_COLS], u64)> = Vec::new();
+    for ev in journal.iter() {
+        let label = format!("{}/{}", ev.cat.as_str(), ev.name);
+        let idx = match rows.iter().position(|(l, _, _)| *l == label) {
+            Some(i) => i,
+            None => {
+                rows.push((label, [false; TIMELINE_COLS], 0));
+                rows.len() - 1
+            }
+        };
+        let cell = |ns: u64| -> usize {
+            (((ns - t0) as u128 * (TIMELINE_COLS as u128 - 1) / span as u128) as usize)
+                .min(TIMELINE_COLS - 1)
+        };
+        let (a, b) = (cell(ev.start.as_nanos()), cell(ev.end().as_nanos()));
+        for c in &mut rows[idx].1[a..=b] {
+            *c = true;
+        }
+        rows[idx].2 += 1;
+    }
+
+    let label_w = rows
+        .iter()
+        .map(|(l, _, _)| l.len())
+        .max()
+        .unwrap_or(0)
+        .max(8);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline {}us .. {}us ({} events, {} dropped)",
+        t0 / 1_000,
+        t1.div_ceil(1_000),
+        journal.total(),
+        journal.dropped(),
+    );
+    for (label, cells, n) in &rows {
+        let bar: String = cells.iter().map(|&on| if on { '#' } else { '.' }).collect();
+        let _ = writeln!(out, "{label:<label_w$} |{bar}| x{n}");
+    }
+    out
+}
+
+/// Artifact file names written by [`write_run_artifacts`].
+pub const TRACE_FILE: &str = "trace.json";
+/// Histogram summary JSON file name.
+pub const HIST_JSON_FILE: &str = "histograms.json";
+/// Histogram summary CSV file name.
+pub const HIST_CSV_FILE: &str = "histograms.csv";
+/// ASCII timeline file name.
+pub const TIMELINE_FILE: &str = "timeline.txt";
+
+/// Write all four artifacts into `dir` (created if absent): `trace.json`,
+/// `histograms.json`, `histograms.csv`, `timeline.txt`.
+pub fn write_run_artifacts(tracer: &Tracer, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(TRACE_FILE), chrome_trace_json(tracer))?;
+    std::fs::write(dir.join(HIST_JSON_FILE), histogram_summary_json(tracer))?;
+    std::fs::write(dir.join(HIST_CSV_FILE), histogram_csv(tracer))?;
+    std::fs::write(dir.join(TIMELINE_FILE), ascii_timeline(tracer))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Category, ObsSink};
+    use cb_sim::time::SimTime;
+
+    fn sample_sink() -> ObsSink {
+        let sink = ObsSink::with_capacity(64);
+        sink.span(
+            Category::Txn,
+            "txn",
+            1,
+            SimTime::from_micros(10),
+            SimTime::from_micros(22),
+        );
+        sink.instant(Category::Wal, "append", 0, SimTime::from_micros(15));
+        sink.span(
+            Category::Failover,
+            "promotion",
+            2,
+            SimTime::from_micros(40),
+            SimTime::from_micros(90),
+        );
+        sink.record("commit_ns", 12_345);
+        sink.record("commit_ns", 99_999);
+        sink.add("wal.appends", 7);
+        sink
+    }
+
+    #[test]
+    fn chrome_trace_has_expected_shape() {
+        let sink = sample_sink();
+        let json = sink.with(chrome_trace_json).unwrap();
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"cat\":\"txn\""));
+        assert!(json.contains("\"ts\":10.000"));
+        assert!(json.contains("\"dur\":12.000"));
+        // Balanced braces and brackets => structurally plausible JSON.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn histogram_summary_lists_all_series() {
+        let sink = sample_sink();
+        let json = sink.with(histogram_summary_json).unwrap();
+        assert!(json.contains("\"commit_ns\""));
+        assert!(json.contains("\"count\":2"));
+        assert!(json.contains("\"wal.appends\":7"));
+        let csv = sink.with(histogram_csv).unwrap();
+        assert!(csv.starts_with("name,count,"));
+        assert!(csv.lines().count() == 2);
+    }
+
+    #[test]
+    fn timeline_renders_every_row() {
+        let sink = sample_sink();
+        let txt = sink.with(ascii_timeline).unwrap();
+        assert!(txt.contains("txn/txn"));
+        assert!(txt.contains("wal/append"));
+        assert!(txt.contains("failover/promotion"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_sink().with(|t| {
+            (
+                chrome_trace_json(t),
+                histogram_summary_json(t),
+                histogram_csv(t),
+                ascii_timeline(t),
+            )
+        });
+        let b = sample_sink().with(|t| {
+            (
+                chrome_trace_json(t),
+                histogram_summary_json(t),
+                histogram_csv(t),
+                ascii_timeline(t),
+            )
+        });
+        assert_eq!(a, b);
+    }
+}

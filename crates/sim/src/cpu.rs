@@ -243,8 +243,14 @@ mod tests {
 
     #[test]
     fn utilization_is_clamped() {
-        assert_eq!(CpuResource::utilization(10.0, 1.0, SimDuration::from_secs(5)), 1.0);
-        assert_eq!(CpuResource::utilization(0.0, 1.0, SimDuration::from_secs(5)), 0.0);
+        assert_eq!(
+            CpuResource::utilization(10.0, 1.0, SimDuration::from_secs(5)),
+            1.0
+        );
+        assert_eq!(
+            CpuResource::utilization(0.0, 1.0, SimDuration::from_secs(5)),
+            0.0
+        );
         let u = CpuResource::utilization(2.5, 1.0, SimDuration::from_secs(5));
         assert!((u - 0.5).abs() < 1e-9);
     }

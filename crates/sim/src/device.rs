@@ -167,7 +167,11 @@ mod tests {
     #[test]
     fn iops_cap_spaces_operations() {
         // 1000 IOPS => 1ms spacing.
-        let mut d = Device::new(DeviceKind::NetworkSsd, SimDuration::from_micros(500), Some(1000));
+        let mut d = Device::new(
+            DeviceKind::NetworkSsd,
+            SimDuration::from_micros(500),
+            Some(1000),
+        );
         assert_eq!(d.access(SimTime::ZERO), SimDuration::from_micros(500));
         // Second op at t=0 must wait until t=1ms to start.
         assert_eq!(d.access(SimTime::ZERO), SimDuration::from_micros(1500));
@@ -180,7 +184,11 @@ mod tests {
 
     #[test]
     fn batch_access_matches_loop() {
-        let mut a = Device::new(DeviceKind::NetworkSsd, SimDuration::from_micros(500), Some(1000));
+        let mut a = Device::new(
+            DeviceKind::NetworkSsd,
+            SimDuration::from_micros(500),
+            Some(1000),
+        );
         let mut b = a.clone();
         let mut last = SimDuration::ZERO;
         for _ in 0..5 {
@@ -203,7 +211,9 @@ mod tests {
             DeviceKind::RemoteMemory.default_latency() < DeviceKind::LocalNvme.default_latency()
         );
         assert!(DeviceKind::LocalNvme.default_latency() < DeviceKind::NetworkSsd.default_latency());
-        assert!(DeviceKind::NetworkSsd.default_latency() < DeviceKind::ObjectStore.default_latency());
+        assert!(
+            DeviceKind::NetworkSsd.default_latency() < DeviceKind::ObjectStore.default_latency()
+        );
     }
 
     #[test]
@@ -211,7 +221,10 @@ mod tests {
         let link = NetworkLink::new(SimDuration::from_micros(100), 10.0);
         // 125 MB at 10 Gbps = 0.1s serialization.
         let d = link.transfer(125_000_000);
-        assert_eq!(d, SimDuration::from_micros(100) + SimDuration::from_millis(100));
+        assert_eq!(
+            d,
+            SimDuration::from_micros(100) + SimDuration::from_millis(100)
+        );
         // RDMA beats TCP for the same payload.
         assert!(NetworkLink::rdma(10.0).transfer(8192) < NetworkLink::tcp(10.0).transfer(8192));
     }

@@ -171,7 +171,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(5), "later");
         assert!(q.pop_due(SimTime::from_secs(4)).is_none());
-        assert_eq!(q.pop_due(SimTime::from_secs(5)).map(|(_, p)| p), Some("later"));
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(5)).map(|(_, p)| p),
+            Some("later")
+        );
     }
 
     #[test]

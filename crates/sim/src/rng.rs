@@ -102,7 +102,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = DetRng::seeded(1);
         let mut b = DetRng::seeded(2);
-        let same = (0..100).filter(|_| a.below(1_000_000) == b.below(1_000_000)).count();
+        let same = (0..100)
+            .filter(|_| a.below(1_000_000) == b.below(1_000_000))
+            .count();
         assert!(same < 3);
     }
 
@@ -116,7 +118,9 @@ mod tests {
             assert_eq!(f1.below(1000), f2.below(1000));
         }
         let mut g = parent1.fork(4);
-        let same = (0..100).filter(|_| f1.below(1_000_000) == g.below(1_000_000)).count();
+        let same = (0..100)
+            .filter(|_| f1.below(1_000_000) == g.below(1_000_000))
+            .count();
         assert!(same < 3);
     }
 

@@ -14,7 +14,10 @@ impl TpsRecorder {
     /// A recorder with `slot`-wide buckets (must be non-zero).
     pub fn new(slot: SimDuration) -> Self {
         assert!(!slot.is_zero(), "slot width must be positive");
-        TpsRecorder { slot, counts: Vec::new() }
+        TpsRecorder {
+            slot,
+            counts: Vec::new(),
+        }
     }
 
     /// A recorder with one-second buckets.
@@ -188,8 +191,15 @@ impl GaugeSeries {
 }
 
 /// A fixed-size uniform reservoir sampler (Vitter's algorithm R) for
-/// percentile estimation over unbounded streams — per-transaction latencies
-/// in a multi-minute run would not fit in memory otherwise.
+/// percentile estimation over unbounded streams.
+///
+/// **Approximate by construction**: once the stream exceeds the capacity,
+/// quantiles are computed from a uniform subsample and carry sampling
+/// error that grows in the tail (p99.9 over a 4096-sample reservoir rests
+/// on ~4 observations). Use it for cheap mid-stream gauges; anything
+/// reported as a result should use the exact log-bucketed
+/// `cb_obs::LogHistogram`, which bounds relative error at ~0.8%
+/// regardless of stream length.
 #[derive(Clone, Debug)]
 pub struct Reservoir {
     cap: usize,
@@ -236,7 +246,8 @@ impl Reservoir {
         self.seen
     }
 
-    /// Estimated `p`-th percentile (0..=100) of the stream.
+    /// Estimated `p`-th percentile (0..=100) of the stream, via the shared
+    /// [`percentile`] helper over the retained sample.
     pub fn percentile(&self, p: f64) -> f64 {
         percentile(&self.samples, p)
     }
@@ -259,15 +270,22 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
-/// The `p`-th percentile (0..=100) by nearest-rank on a copy of `xs`.
+/// The `p`-th percentile (0..=100) of `xs`, linearly interpolated between
+/// closest ranks (the "C = 1" / numpy `linear` convention). This is the
+/// single percentile definition shared by every sample-based consumer —
+/// [`Reservoir`] and the evaluators — so figures agree on interpolation.
+/// Exact streaming quantiles live in `cb_obs::LogHistogram`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi.min(sorted.len() - 1)] - sorted[lo]) * frac
 }
 
 #[cfg(test)]
@@ -371,5 +389,22 @@ mod tests {
         assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 50.0), 3.0);
         assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 100.0), 5.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        // Even-length slice: the median falls between ranks.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), 2.5);
+        // Quarter-way between 1.0 and 2.0.
+        assert!((percentile(&[1.0, 2.0], 25.0) - 1.25).abs() < 1e-12);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(percentile(&[1.0, 2.0], 150.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], -5.0), 1.0);
+        // Reservoir agrees with the helper on its retained sample.
+        let mut r = Reservoir::new(10);
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            r.offer(v);
+        }
+        assert_eq!(r.percentile(50.0), 2.5);
     }
 }

@@ -321,7 +321,10 @@ mod tests {
         assert_eq!(d.mul_f64(2.0), SimDuration::from_micros(200));
         assert_eq!(d.div_f64(2.0), SimDuration::from_micros(50));
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]

@@ -163,7 +163,10 @@ pub fn decode_record(bytes: &[u8], offset: usize) -> Result<(WalRecord, usize), 
         return Err(CodecError::BadChecksum { offset });
     }
     let end = r.pos;
-    let mut b = Reader { bytes: body, pos: 0 };
+    let mut b = Reader {
+        bytes: body,
+        pos: 0,
+    };
     let lsn = Lsn(b.u64()?);
     let txn = TxnId(b.u64()?);
     let tag = b.take(1)?[0];
@@ -312,7 +315,10 @@ mod tests {
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&body).to_le_bytes());
         frame.extend_from_slice(&body);
-        assert_eq!(decode_segment(&frame).unwrap_err(), CodecError::UnknownTag(99));
+        assert_eq!(
+            decode_segment(&frame).unwrap_err(),
+            CodecError::UnknownTag(99)
+        );
     }
 
     #[test]

@@ -150,7 +150,9 @@ impl PageStore {
 
     /// Borrow a page. Panics on unknown id — an engine bug, not user error.
     pub fn read(&self, id: PageId) -> &PageBuf {
-        self.pages.get(&id).unwrap_or_else(|| panic!("read of unknown page {id:?}"))
+        self.pages
+            .get(&id)
+            .unwrap_or_else(|| panic!("read of unknown page {id:?}"))
     }
 
     /// Mutably borrow a page.

@@ -39,7 +39,9 @@ impl StorageArch {
     pub fn redo_pushdown(self) -> bool {
         matches!(
             self,
-            StorageArch::SmartStorage | StorageArch::SafekeeperPageserver | StorageArch::LogPageSplit
+            StorageArch::SmartStorage
+                | StorageArch::SafekeeperPageserver
+                | StorageArch::LogPageSplit
         )
     }
 }
@@ -154,7 +156,14 @@ mod tests {
     }
 
     fn coupled() -> StorageService {
-        StorageService::new(StorageArch::Coupled, nvme(), nvme(), None, 1, SimDuration::ZERO)
+        StorageService::new(
+            StorageArch::Coupled,
+            nvme(),
+            nvme(),
+            None,
+            1,
+            SimDuration::ZERO,
+        )
     }
 
     fn smart() -> StorageService {

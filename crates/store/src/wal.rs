@@ -85,7 +85,10 @@ pub enum WalOp {
 impl WalOp {
     /// True for the data-modifying variants (what replicas must replay).
     pub fn is_dml(&self) -> bool {
-        matches!(self, WalOp::Insert { .. } | WalOp::Update { .. } | WalOp::Delete { .. })
+        matches!(
+            self,
+            WalOp::Insert { .. } | WalOp::Update { .. } | WalOp::Delete { .. }
+        )
     }
 }
 

@@ -1,10 +1,14 @@
 //! Property tests for the storage substrate.
 
-use cb_store::{LogStore, PageBuf, PageStore, TxnId, WalOp, Lsn, TableId};
+use cb_store::{LogStore, Lsn, PageBuf, PageStore, TableId, TxnId, WalOp};
 use proptest::prelude::*;
 
 fn insert_op(key: i64, len: usize) -> WalOp {
-    WalOp::Insert { table: TableId(0), key, row: vec![0u8; len % 256] }
+    WalOp::Insert {
+        table: TableId(0),
+        key,
+        row: vec![0u8; len % 256],
+    }
 }
 
 proptest! {
@@ -73,13 +77,24 @@ mod codec_props {
             Just(WalOp::Commit),
             Just(WalOp::Abort),
             any::<u64>().prop_map(|dirty_pages| WalOp::Checkpoint { dirty_pages }),
-            (any::<u16>(), any::<i64>(), blob.clone())
-                .prop_map(|(t, key, row)| WalOp::Insert { table: TableId(t), key, row }),
+            (any::<u16>(), any::<i64>(), blob.clone()).prop_map(|(t, key, row)| WalOp::Insert {
+                table: TableId(t),
+                key,
+                row
+            }),
             (any::<u16>(), any::<i64>(), blob.clone(), blob.clone()).prop_map(
-                |(t, key, before, after)| WalOp::Update { table: TableId(t), key, before, after }
+                |(t, key, before, after)| WalOp::Update {
+                    table: TableId(t),
+                    key,
+                    before,
+                    after
+                }
             ),
-            (any::<u16>(), any::<i64>(), blob)
-                .prop_map(|(t, key, before)| WalOp::Delete { table: TableId(t), key, before }),
+            (any::<u16>(), any::<i64>(), blob).prop_map(|(t, key, before)| WalOp::Delete {
+                table: TableId(t),
+                key,
+                before
+            }),
         ]
     }
 

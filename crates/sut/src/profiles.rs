@@ -480,9 +480,10 @@ impl SutProfile {
                 max: self.max_vcores,
                 ..OnDemandScaler::cdb2_default()
             }),
-            ScalingKind::GradualDown => {
-                Box::new(GradualDownScaler::with_bounds(self.min_vcores, self.max_vcores))
-            }
+            ScalingKind::GradualDown => Box::new(GradualDownScaler::with_bounds(
+                self.min_vcores,
+                self.max_vcores,
+            )),
             ScalingKind::QuantPauseResume => {
                 Box::new(QuantScaler::with_bounds(self.min_vcores, self.max_vcores))
             }

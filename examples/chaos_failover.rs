@@ -14,17 +14,22 @@ fn main() {
     println!("injecting an RW-node failure into all five systems (con = 100)\n");
     let mut t = Table::new(
         "Chaos fail-over drill",
-        &["System", "Recovery route", "Service down (F)", "TPS recovery (R)", "Phases"],
+        &[
+            "System",
+            "Recovery route",
+            "Service down (F)",
+            "TPS recovery (R)",
+            "Phases",
+        ],
     );
     for profile in SutProfile::all() {
         let r = evaluate_failover(&profile, 100, 200, 7);
-        let phases: Vec<String> = r
-            .rw
-            .timeline
-            .phases
-            .iter()
-            .map(|p| format!("{} {:.1}s", p.name, p.duration().as_secs_f64()))
-            .collect();
+        let phases: Vec<String> =
+            r.rw.timeline
+                .phases
+                .iter()
+                .map(|p| format!("{} {:.1}s", p.name, p.duration().as_secs_f64()))
+                .collect();
         let route = format!("{:?}", profile.arch);
         t.row(&[
             profile.display.to_string(),

@@ -42,7 +42,13 @@ fn main() {
     println!("flash sale: 3-minute spike (11 -> 88 -> 11 clients), payment-heavy mix\n");
     let mut t = Table::new(
         "Flash sale — fixed vs serverless, uniform vs hot-item skew",
-        &["System", "Distribution", "Avg TPS", "Cost (3 min)", "Lock conflicts"],
+        &[
+            "System",
+            "Distribution",
+            "Avg TPS",
+            "Cost (3 min)",
+            "Lock conflicts",
+        ],
     );
     for profile in [SutProfile::aws_rds(), SutProfile::cdb3()] {
         for (label, dist) in [

@@ -10,9 +10,7 @@ use cb_engine::sql::StmtRegistry;
 use cb_engine::{BufferPool, Database, ExecCtx};
 use cb_sim::{DetRng, SimTime};
 use cb_sut::SutProfile;
-use cloudybench::microservices::{
-    install, load_extension_data, run_ext_txn, ExtTxn,
-};
+use cloudybench::microservices::{install, load_extension_data, run_ext_txn, ExtTxn};
 use cloudybench::report::Table;
 use cloudybench::schema::{create_tables, STMT_DB_TOML};
 
@@ -88,7 +86,10 @@ fn main() {
     let mut t = Table::new("Inventory service — end of day", &["Metric", "Value"]);
     t.row(&["availability checks".into(), executed[0].to_string()]);
     t.row(&["reservations".into(), executed[1].to_string()]);
-    t.row(&["work-order completions attempted".into(), executed[2].to_string()]);
+    t.row(&[
+        "work-order completions attempted".into(),
+        executed[2].to_string(),
+    ]);
     t.row(&["work orders opened (low stock)".into(), opened.to_string()]);
     t.row(&["work orders still open".into(), open.to_string()]);
     t.row(&["work orders done".into(), done.to_string()]);

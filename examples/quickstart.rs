@@ -4,8 +4,17 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --trace-out traces/
 //! ```
+//!
+//! With `--trace-out DIR` the run also captures a full virtual-time trace
+//! (transaction spans, WAL appends, buffer-pool misses, lock waits) and
+//! exact latency histograms, then writes `trace.json` (load it in
+//! `chrome://tracing` or Perfetto), `histograms.json`, `histograms.csv`
+//! and `timeline.txt` into DIR. Same seed, same bytes — the artifacts are
+//! safe to diff across runs.
 
+use cb_obs::{write_run_artifacts, ObsSink};
 use cb_sim::{SimDuration, SimTime};
 use cb_sut::SutProfile;
 use cloudybench::cost::{ruc_cost, RucRates};
@@ -15,6 +24,17 @@ use cloudybench::{
 };
 
 fn main() {
+    // Optional: --trace-out DIR enables observability artifact capture.
+    let mut trace_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            trace_out = Some(std::path::PathBuf::from(
+                args.next().expect("--trace-out needs a directory"),
+            ));
+        }
+    }
+
     // 1. Pick a system under test. Five profiles mirror the paper's
     //    anonymized systems: aws-rds, cdb1..cdb4.
     let profile = SutProfile::cdb4();
@@ -46,17 +66,47 @@ fn main() {
         AccessDistribution::Uniform,
         KeyPartition::whole(dep.shape.orders, dep.shape.customers),
     );
-    let result = run(&mut dep, &[spec], &RunOptions::default());
+    let obs = if trace_out.is_some() {
+        ObsSink::enabled()
+    } else {
+        ObsSink::disabled()
+    };
+    let opts = RunOptions {
+        obs: obs.clone(),
+        ..RunOptions::default()
+    };
+    let result = run(&mut dep, &[spec], &opts);
 
     // 4. Report.
     let end = SimTime::ZERO + duration;
     let usage = dep.usage(SimTime::ZERO, end);
     let cost = ruc_cost(&usage, &RucRates::default());
     let mut t = Table::new("Quickstart results", &["Metric", "Value"]);
-    t.row(&["committed txns".into(), format!("{}", result.tenants[0].committed)]);
+    t.row(&[
+        "committed txns".into(),
+        format!("{}", result.tenants[0].committed),
+    ]);
     t.row(&["avg TPS".into(), fnum(result.avg_tps(SimTime::ZERO, end))]);
-    t.row(&["avg latency".into(), format!("{}", result.tenants[0].avg_latency())]);
-    t.row(&["lock conflicts".into(), format!("{}", result.lock_conflicts)]);
+    t.row(&[
+        "avg latency".into(),
+        format!("{}", result.tenants[0].avg_latency()),
+    ]);
+    t.row(&[
+        "lock conflicts".into(),
+        format!("{}", result.lock_conflicts),
+    ]);
     t.row(&["cost (1 min, RUC)".into(), fmoney(cost.total())]);
+    t.row(&[
+        "p99 latency (exact)".into(),
+        format!("{:.2} ms", result.tenants[0].latency_percentile_ms(99.0)),
+    ]);
     println!("{t}");
+
+    // 5. Export observability artifacts, if requested.
+    if let Some(dir) = trace_out {
+        obs.with(|tracer| write_run_artifacts(tracer, &dir))
+            .expect("sink enabled")
+            .expect("artifacts written");
+        println!("trace artifacts written to {}", dir.display());
+    }
 }

@@ -8,17 +8,22 @@
 //! ```
 
 use cb_sut::SutProfile;
-use cloudybench::report::{fnum, Table};
 use cloudybench::metrics::o_score;
+use cloudybench::report::{fnum, Table};
 use cloudybench::Testbed;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "cdb4".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cdb4".to_string());
     let profile = SutProfile::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown SUT {name}; use aws-rds, cdb1, cdb2, cdb3, or cdb4");
         std::process::exit(1);
     });
-    println!("scoring {} (runs every evaluator; takes a minute) ...", profile.display);
+    println!(
+        "scoring {} (runs every evaluator; takes a minute) ...",
+        profile.display
+    );
 
     let mut tb = Testbed::new(profile.clone(), 400, 7);
     tb.concurrency = 60;
@@ -30,12 +35,28 @@ fn main() {
         &format!("PERFECT score card — {}", profile.display),
         &["Score", "Value", "Meaning"],
     );
-    t.row(&["P".into(), fnum(perfect.p), "TPS per $-minute (all resources)".into()]);
-    t.row(&["E1".into(), fnum(perfect.e1), "TPS per $-minute (CPU+mem+IOPS)".into()]);
-    t.row(&["F".into(), fnum(perfect.f), "seconds to resume service".into()]);
+    t.row(&[
+        "P".into(),
+        fnum(perfect.p),
+        "TPS per $-minute (all resources)".into(),
+    ]);
+    t.row(&[
+        "E1".into(),
+        fnum(perfect.e1),
+        "TPS per $-minute (CPU+mem+IOPS)".into(),
+    ]);
+    t.row(&[
+        "F".into(),
+        fnum(perfect.f),
+        "seconds to resume service".into(),
+    ]);
     t.row(&["R".into(), fnum(perfect.r), "seconds to recover TPS".into()]);
     t.row(&["C".into(), fnum(perfect.c), "replication lag (ms)".into()]);
-    t.row(&["T".into(), fnum(perfect.t), "tenant geomean TPS per $".into()]);
+    t.row(&[
+        "T".into(),
+        fnum(perfect.t),
+        "tenant geomean TPS per $".into(),
+    ]);
     t.row(&[
         "O".into(),
         o_score(1.0, &perfect).map_or("-".into(), fnum),

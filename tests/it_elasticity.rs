@@ -21,7 +21,9 @@ fn serverless_tiers_scale_with_the_single_peak() {
             SIM_SCALE,
             7,
         );
-        let peak = r.vcores.max_in(SimTime::from_secs(60), SimTime::from_secs(180));
+        let peak = r
+            .vcores
+            .max_in(SimTime::from_secs(60), SimTime::from_secs(180));
         assert!(
             peak > profile.min_vcores,
             "{} should scale above its minimum during the peak (peak {peak})",

@@ -63,9 +63,16 @@ fn analysis_reflects_checkpointing() {
         AccessDistribution::Uniform,
         KeyPartition::whole(dep.shape.orders, dep.shape.customers),
     );
-    let opts = RunOptions { seed: 7, vcores: VcoreControl::Fixed, ..RunOptions::default() };
+    let opts = RunOptions {
+        seed: 7,
+        vcores: VcoreControl::Fixed,
+        ..RunOptions::default()
+    };
     let _ = run(&mut dep, &[spec], &opts);
-    assert!(dep.db.last_checkpoint() > cb_store::Lsn::ZERO, "checkpoints ran");
+    assert!(
+        dep.db.last_checkpoint() > cb_store::Lsn::ZERO,
+        "checkpoints ran"
+    );
     let since_ckpt = analyze(dep.db.log(), dep.db.last_checkpoint());
     assert!(since_ckpt.scanned > 0);
     // The tail since the last checkpoint is far less than total traffic.

@@ -30,7 +30,11 @@ fn throughput_dips_to_zero_then_recovers() {
     // The final seconds are healthy again.
     let tail = &rates[rates.len() - 10..];
     let tail_avg = tail.iter().sum::<f64>() / tail.len() as f64;
-    assert!(tail_avg > r.rw.pre_tps * 0.7, "tail {tail_avg} vs pre {}", r.rw.pre_tps);
+    assert!(
+        tail_avg > r.rw.pre_tps * 0.7,
+        "tail {tail_avg} vs pre {}",
+        r.rw.pre_tps
+    );
 }
 
 #[test]
@@ -61,9 +65,12 @@ fn aries_recovery_time_scales_with_dirty_work() {
 
 #[test]
 fn failure_during_serverless_scaling_is_survivable() {
-    use cloudybench::driver::VcoreControl;
-    use cloudybench::{run, AccessDistribution, Deployment, FailurePlan, KeyPartition, RunOptions, TenantSpec, TxnMix};
     use cb_sim::{SimDuration, SimTime};
+    use cloudybench::driver::VcoreControl;
+    use cloudybench::{
+        run, AccessDistribution, Deployment, FailurePlan, KeyPartition, RunOptions, TenantSpec,
+        TxnMix,
+    };
     // CDB3 under a spike with the autoscaler live, RW node killed mid-ramp.
     let mut dep = Deployment::new(SutProfile::cdb3(), 1, SIM_SCALE, 1, 7);
     let spec = TenantSpec {
@@ -93,9 +100,12 @@ fn failure_during_serverless_scaling_is_survivable() {
 
 #[test]
 fn failure_against_paused_node_cluster_still_recovers() {
-    use cloudybench::driver::VcoreControl;
-    use cloudybench::{run, AccessDistribution, Deployment, FailurePlan, KeyPartition, RunOptions, TenantSpec, TxnMix};
     use cb_sim::{SimDuration, SimTime};
+    use cloudybench::driver::VcoreControl;
+    use cloudybench::{
+        run, AccessDistribution, Deployment, FailurePlan, KeyPartition, RunOptions, TenantSpec,
+        TxnMix,
+    };
     // Zero load first (CDB3 pauses), failure injected while paused, then
     // load arrives: resume + recovery must compose.
     let mut dep = Deployment::new(SutProfile::cdb3(), 1, SIM_SCALE, 1, 7);
@@ -118,5 +128,9 @@ fn failure_against_paused_node_cluster_still_recovers() {
     let r = run(&mut dep, &[spec], &opts);
     let rates = r.total.rate_series();
     let active: f64 = rates[70..119].iter().sum();
-    assert!(active > 0.0, "load served after pause + failure: {:?}", &rates[60..90]);
+    assert!(
+        active > 0.0,
+        "load served after pause + failure: {:?}",
+        &rates[60..90]
+    );
 }

@@ -1,25 +1,43 @@
 //! Integration: the PERFECT metric pipeline from raw evaluator outputs to
 //! the unified O-Score.
 
+use cb_cluster::ResourceUsage;
+use cb_sim::SimDuration;
 use cb_sut::SutProfile;
 use cloudybench::cost::{actual_cost, ruc_cost, RucRates};
 use cloudybench::metrics::{e2_score, o_score, p_score, Perfect};
-use cb_cluster::ResourceUsage;
-use cb_sim::SimDuration;
 
 #[test]
 fn o_score_reproduces_paper_table9_from_paper_components() {
     // Feed the paper's own component rows through our formula; the O-Score
     // column should come back within rounding.
     let rows = [
-        ("AWS RDS", 359735.0, 59430.0, 24.0, 15.0, 20.0, 14.0, 80619.0, 15.82),
-        ("CDB1", 131906.0, 16024.0, 9.0, 6.0, 3.0, 178.0, 52705.0, 13.48),
-        ("CDB2", 99212.0, 139933.0, 27.0, 6.0, 7.0, 1082.0, 79484.0, 13.64),
-        ("CDB3", 217002.0, 286643.0, 18.0, 9.0, 4.0, 14.0, 75377.0, 15.92),
-        ("CDB4", 153566.0, 80565.0, 3.5, 2.5, 10.0, 1.5, 75305.0, 17.7),
+        (
+            "AWS RDS", 359735.0, 59430.0, 24.0, 15.0, 20.0, 14.0, 80619.0, 15.82,
+        ),
+        (
+            "CDB1", 131906.0, 16024.0, 9.0, 6.0, 3.0, 178.0, 52705.0, 13.48,
+        ),
+        (
+            "CDB2", 99212.0, 139933.0, 27.0, 6.0, 7.0, 1082.0, 79484.0, 13.64,
+        ),
+        (
+            "CDB3", 217002.0, 286643.0, 18.0, 9.0, 4.0, 14.0, 75377.0, 15.92,
+        ),
+        (
+            "CDB4", 153566.0, 80565.0, 3.5, 2.5, 10.0, 1.5, 75305.0, 17.7,
+        ),
     ];
     for (name, p, e1, r, f, e2, c, t, expected) in rows {
-        let s = Perfect { p, e1, e2, r, f, c, t };
+        let s = Perfect {
+            p,
+            e1,
+            e2,
+            r,
+            f,
+            c,
+            t,
+        };
         let o = o_score(1.0, &s).expect("all components positive");
         assert!(
             (o - expected).abs() < 0.25,
@@ -49,14 +67,19 @@ fn actual_pricing_reranks_p_scores() {
     let rds_star = p_score(tps, &actual_cost(&burst, &rds.actual_pricing));
     let cdb3_star = p_score(tps, &actual_cost(&burst, &cdb3.actual_pricing));
     assert!(rds_star < ruc_p, "minimum billing hurts the starred score");
-    assert!(cdb3_star > rds_star, "startup pricing wins the starred metric");
+    assert!(
+        cdb3_star > rds_star,
+        "startup pricing wins the starred metric"
+    );
 }
 
 #[test]
 fn e2_score_from_scale_out_runs() {
     use cb_sim::SimTime;
     use cloudybench::driver::VcoreControl;
-    use cloudybench::{run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix};
+    use cloudybench::{
+        run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
+    };
     let profile = SutProfile::cdb4();
     let mut tps = Vec::new();
     for ro in [0usize, 1, 2] {
@@ -69,7 +92,11 @@ fn e2_score_from_scale_out_runs() {
             AccessDistribution::Uniform,
             KeyPartition::whole(dep.shape.orders, dep.shape.customers),
         );
-        let opts = RunOptions { seed: 7, vcores: VcoreControl::Fixed, ..RunOptions::default() };
+        let opts = RunOptions {
+            seed: 7,
+            vcores: VcoreControl::Fixed,
+            ..RunOptions::default()
+        };
         let r = run(&mut dep, &[spec], &opts);
         tps.push(r.avg_tps(SimTime::ZERO, SimTime::ZERO + duration));
     }

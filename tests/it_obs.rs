@@ -1,0 +1,150 @@
+//! Integration: observability determinism — two runs with the same seed
+//! must export byte-identical trace and histogram artifacts, and the
+//! Chrome trace export must be well-formed JSON.
+
+use cb_obs::{chrome_trace_json, histogram_summary_json, ObsSink};
+use cb_sim::SimDuration;
+use cb_sut::SutProfile;
+use cloudybench::driver::VcoreControl;
+use cloudybench::{
+    run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
+};
+
+fn traced_run(seed: u64) -> (String, String) {
+    let mut dep = Deployment::new(SutProfile::cdb2(), 1, 2000, 1, seed);
+    let spec = TenantSpec::constant(
+        12,
+        SimDuration::from_secs(5),
+        TxnMix::read_write(),
+        AccessDistribution::Uniform,
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    );
+    let obs = ObsSink::enabled();
+    let opts = RunOptions {
+        seed,
+        vcores: VcoreControl::Fixed,
+        obs: obs.clone(),
+        ..RunOptions::default()
+    };
+    run(&mut dep, &[spec], &opts);
+    obs.with(|t| (chrome_trace_json(t), histogram_summary_json(t)))
+        .expect("sink enabled")
+}
+
+#[test]
+fn same_seed_runs_export_identical_artifacts() {
+    let (trace1, hist1) = traced_run(7);
+    let (trace2, hist2) = traced_run(7);
+    assert_eq!(
+        trace1, trace2,
+        "chrome trace must be byte-identical across same-seed runs"
+    );
+    assert_eq!(
+        hist1, hist2,
+        "histogram summary must be byte-identical across same-seed runs"
+    );
+    // Sanity: the content actually depends on the seed.
+    let (trace3, _) = traced_run(8);
+    assert_ne!(trace1, trace3);
+}
+
+/// Minimal recursive-descent JSON validity check (structure only).
+fn json_ok(s: &str) -> bool {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Option<usize> {
+        let i = skip_ws(b, i);
+        match b.get(i)? {
+            b'{' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return None;
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b'}' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b']' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => string(b, i),
+            b't' => b[i..].starts_with(b"true").then_some(i + 4),
+            b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+            b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+            _ => {
+                let start = i;
+                let mut i = i;
+                while i < b.len() && matches!(b[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                (i > start).then_some(i)
+            }
+        }
+    }
+    fn string(b: &[u8], i: usize) -> Option<usize> {
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        let mut i = i + 1;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(i + 1),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+    let b = s.as_bytes();
+    match value(b, 0) {
+        Some(end) => skip_ws(b, end) == b.len(),
+        None => false,
+    }
+}
+
+#[test]
+fn trace_exports_are_wellformed_json() {
+    let (trace, hist) = traced_run(3);
+    assert!(json_ok(&trace), "chrome trace is not valid JSON");
+    assert!(json_ok(&hist), "histogram summary is not valid JSON");
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("\"displayTimeUnit\""));
+    assert!(hist.contains("\"txn.latency_ns\""));
+}
+
+#[test]
+fn json_checker_rejects_malformed_input() {
+    assert!(json_ok("{\"a\": [1, 2.5e3, \"x\\\"y\", true, null]}"));
+    assert!(!json_ok("{\"a\": }"));
+    assert!(!json_ok("{\"a\": 1,}"));
+    assert!(!json_ok("[1, 2"));
+    assert!(!json_ok("{\"a\" 1}"));
+}

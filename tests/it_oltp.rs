@@ -34,9 +34,18 @@ fn quick_run(profile: &SutProfile, mix: TxnMix, con: u32, secs: u64) -> (Deploym
 #[test]
 fn all_five_suts_run_all_three_mixes() {
     for profile in SutProfile::all() {
-        for mix in [TxnMix::read_only(), TxnMix::read_write(), TxnMix::write_only()] {
+        for mix in [
+            TxnMix::read_only(),
+            TxnMix::read_write(),
+            TxnMix::write_only(),
+        ] {
             let (_, tps) = quick_run(&profile, mix, 20, 5);
-            assert!(tps > 100.0, "{} {} tps = {tps}", profile.display, mix.label());
+            assert!(
+                tps > 100.0,
+                "{} {} tps = {tps}",
+                profile.display,
+                mix.label()
+            );
         }
     }
 }
@@ -55,7 +64,10 @@ fn write_mix_mutates_the_database() {
 fn read_only_mix_leaves_data_untouched() {
     let profile = SutProfile::cdb3();
     let (dep, _) = quick_run(&profile, TxnMix::read_only(), 10, 5);
-    assert_eq!(dep.db.table(dep.tables.orderline).rows(), dep.shape.orderlines);
+    assert_eq!(
+        dep.db.table(dep.tables.orderline).rows(),
+        dep.shape.orderlines
+    );
     assert_eq!(dep.db.table(dep.tables.orders).rows(), dep.shape.orders);
 }
 

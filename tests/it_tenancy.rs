@@ -8,8 +8,20 @@ const SIM_SCALE: u64 = 2000;
 #[test]
 fn table7_shape_isolation_wins_contention_pool_wins_staggered() {
     let scale = 0.3;
-    let rds_a = evaluate_tenancy(&SutProfile::aws_rds(), TenancyPattern::HighContention, scale, SIM_SCALE, 7);
-    let cdb2_a = evaluate_tenancy(&SutProfile::cdb2(), TenancyPattern::HighContention, scale, SIM_SCALE, 7);
+    let rds_a = evaluate_tenancy(
+        &SutProfile::aws_rds(),
+        TenancyPattern::HighContention,
+        scale,
+        SIM_SCALE,
+        7,
+    );
+    let cdb2_a = evaluate_tenancy(
+        &SutProfile::cdb2(),
+        TenancyPattern::HighContention,
+        scale,
+        SIM_SCALE,
+        7,
+    );
     assert!(
         rds_a.total_tps > cdb2_a.total_tps,
         "isolation wins contention: {} vs {}",
@@ -17,8 +29,20 @@ fn table7_shape_isolation_wins_contention_pool_wins_staggered() {
         cdb2_a.total_tps
     );
 
-    let cdb2_d = evaluate_tenancy(&SutProfile::cdb2(), TenancyPattern::StaggeredLow, 1.0, SIM_SCALE, 7);
-    let cdb3_d = evaluate_tenancy(&SutProfile::cdb3(), TenancyPattern::StaggeredLow, 1.0, SIM_SCALE, 7);
+    let cdb2_d = evaluate_tenancy(
+        &SutProfile::cdb2(),
+        TenancyPattern::StaggeredLow,
+        1.0,
+        SIM_SCALE,
+        7,
+    );
+    let cdb3_d = evaluate_tenancy(
+        &SutProfile::cdb3(),
+        TenancyPattern::StaggeredLow,
+        1.0,
+        SIM_SCALE,
+        7,
+    );
     assert!(
         cdb2_d.t_score > cdb3_d.t_score,
         "pool wins staggered-low: {} vs {}",
@@ -47,8 +71,20 @@ fn every_sut_completes_every_pattern() {
 
 #[test]
 fn isolated_deployments_bill_triple_network() {
-    let iso = evaluate_tenancy(&SutProfile::cdb4(), TenancyPattern::LowContention, 0.1, SIM_SCALE, 7);
-    let pool = evaluate_tenancy(&SutProfile::cdb2(), TenancyPattern::LowContention, 0.1, SIM_SCALE, 7);
+    let iso = evaluate_tenancy(
+        &SutProfile::cdb4(),
+        TenancyPattern::LowContention,
+        0.1,
+        SIM_SCALE,
+        7,
+    );
+    let pool = evaluate_tenancy(
+        &SutProfile::cdb2(),
+        TenancyPattern::LowContention,
+        0.1,
+        SIM_SCALE,
+        7,
+    );
     assert!((iso.usage.network_gbps - 30.0).abs() < 1e-9);
     assert!((pool.usage.network_gbps - 10.0).abs() < 1e-9);
     assert!(iso.usage.rdma);
@@ -56,8 +92,20 @@ fn isolated_deployments_bill_triple_network() {
 
 #[test]
 fn branches_share_the_storage_bill() {
-    let branches = evaluate_tenancy(&SutProfile::cdb3(), TenancyPattern::LowContention, 0.1, SIM_SCALE, 7);
-    let isolated = evaluate_tenancy(&SutProfile::cdb1(), TenancyPattern::LowContention, 0.1, SIM_SCALE, 7);
+    let branches = evaluate_tenancy(
+        &SutProfile::cdb3(),
+        TenancyPattern::LowContention,
+        0.1,
+        SIM_SCALE,
+        7,
+    );
+    let isolated = evaluate_tenancy(
+        &SutProfile::cdb1(),
+        TenancyPattern::LowContention,
+        0.1,
+        SIM_SCALE,
+        7,
+    );
     // CDB1: 3 instances x 6-way replication (18x data); CDB3: one shared
     // copy-on-write store at 3x. The nominal ratio is 6x, but the shared
     // store absorbs all three tenants' inserts while each isolated instance

@@ -1,0 +1,144 @@
+//! Offline stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! Implements the macro and method surface `cb-bench` uses —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Bencher::iter`] and [`Bencher::iter_batched`] — with a simple
+//! fixed-budget wall-clock sampler that prints one median-estimate line per
+//! benchmark. No statistics engine, no plots, no CLI parsing: good enough
+//! to run the microbenches and compare orders of magnitude offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are grouped; all variants behave identically here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+/// Sampling budget per benchmark (wall-clock).
+const BUDGET: Duration = Duration::from_millis(200);
+/// Hard cap on iterations, for extremely cheap routines.
+const MAX_ITERS: u64 = 1_000_000;
+
+impl Bencher {
+    /// Time `routine` repeatedly until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        while start.elapsed() < BUDGET && self.iters < MAX_ITERS {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < BUDGET && self.iters < MAX_ITERS {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<40} (no iterations)");
+            return;
+        }
+        let per = self.total.as_nanos() / u128::from(self.iters);
+        println!("{id:<40} {per:>12} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Group benchmark functions under one callable group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for the crates.io `rand` crate (0.8 API subset).
+//!
+//! The CloudyBench build must work with no network and no vendored
+//! registry, so this crate re-implements exactly the surface `cb-sim`
+//! consumes: `StdRng` (here xoshiro256++ seeded via SplitMix64),
+//! `SeedableRng::seed_from_u64`, the `Rng` sampling helpers, and a uniform
+//! float distribution. Everything is deterministic — there is deliberately
+//! no `thread_rng` / OS entropy: all CloudyBench randomness must flow from
+//! an explicit seed.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 key expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw one value from the range.
+    fn sample_range<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform integer in `[0, n)` without modulo bias (Lemire's method).
+fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        let lo = m as u64;
+        if lo >= n || lo >= (n.wrapping_neg() % n) {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_range<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_range<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_range<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// Sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value over `T`'s whole domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform value in `range`.
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample_range(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut key = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut key);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero words from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distribution types.
+pub mod distributions {
+    use super::RngCore;
+
+    /// One distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value from `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a half-open float interval `[lo, hi)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform {
+        lo: f64,
+        hi: f64,
+    }
+
+    impl Uniform {
+        /// The uniform distribution over `[lo, hi)`.
+        pub fn new(lo: f64, hi: f64) -> Self {
+            assert!(lo < hi, "empty Uniform interval");
+            Uniform { lo, hi }
+        }
+    }
+
+    impl Distribution<f64> for Uniform {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.lo + <f64 as super::Standard>::sample_standard(rng) * (self.hi - self.lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.gen_range(0..17u64);
+            assert!(v < 17);
+            let w: i64 = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn uniform_distribution_bounds() {
+        use distributions::{Distribution, Uniform};
+        let mut r = StdRng::seed_from_u64(5);
+        let d = Uniform::new(2.0, 3.0);
+        for _ in 0..1_000 {
+            let v = d.sample(&mut r);
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+}
