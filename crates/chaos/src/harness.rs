@@ -1,0 +1,686 @@
+//! The chaos harness: one seeded run of randomized transactions with
+//! injected faults, checked against four oracles.
+//!
+//! The harness drives an open-loop, *sequential* T1–T4 mix directly against
+//! a [`Deployment`]'s database (the closed-loop benchmark driver would hide
+//! the crash points this harness needs to control). Every transaction's
+//! effects are staged into a [`ShadowModel`] and applied only at commit-ack.
+//! In parallel it maintains the **archive** — the storage tier's durable
+//! copy of the WAL, pulled at every acknowledgement, never truncated — so
+//! that after a crash it can run both real recovery paths:
+//!
+//! * **replay-from-storage**: `base_database()` + `redo_committed(archive)`,
+//!   the CDB1–3 route (also "restore backup and roll forward"), and
+//! * **in-place ARIES undo**: `undo_losers` over the crash epoch's log tail
+//!   applied to the crashed image, the RDS/CDB4 route.
+//!
+//! Both recovered states must equal the shadow. Divergences are classified
+//! by direction (durability / atomicity / equivalence) in [`ShadowDiff`].
+//! Determinism — same seed, byte-identical cb-obs artifacts — is checked one
+//! level up by the campaign runner, which runs every seed twice.
+
+use cb_cluster::{plan_failover_with_detection, HeartbeatMonitor, NodeHealth};
+use cb_engine::exec::RemoteTier;
+use cb_engine::recovery::{analyze, redo_committed, undo_losers};
+use cb_engine::{ExecCtx, Row, Value};
+use cb_obs::{
+    ascii_timeline, chrome_trace_json, histogram_csv, histogram_summary_json, Category, ObsSink,
+};
+use cb_sim::{DetRng, SimDuration, SimTime};
+use cb_store::{decode_record, encode_segment, Lsn, TxnId, WalOp, WalRecord};
+use cb_sut::SutProfile;
+use cloudybench::Deployment;
+
+use crate::schedule::{FaultKind, FaultSchedule};
+use crate::shadow::{ShadowModel, ShadowOp};
+
+/// Knobs for one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosOptions {
+    /// Workload transactions per seed.
+    pub txns: u64,
+    /// Simulation scale divisor for the dataset (larger = smaller data).
+    pub sim_scale: u64,
+    /// Test-only bug injection: skip the n-th committed DML record during
+    /// the replay recovery path. The equivalence oracle must catch it.
+    pub bug_skip_redo: Option<usize>,
+    /// Collect cb-obs artifacts (needed for the determinism oracle).
+    pub collect_artifacts: bool,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            txns: 60,
+            sim_scale: 3000,
+            bug_skip_redo: None,
+            collect_artifacts: true,
+        }
+    }
+}
+
+/// The four exported artifact strings of one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Artifacts {
+    /// Chrome trace JSON.
+    pub trace: String,
+    /// Histogram summary JSON.
+    pub hist_json: String,
+    /// Histogram CSV.
+    pub hist_csv: String,
+    /// ASCII timeline.
+    pub timeline: String,
+}
+
+/// Statistics and artifacts of one clean (violation-free) run.
+#[derive(Clone, Debug)]
+pub struct SeedReport {
+    /// The seed that was run.
+    pub seed: u64,
+    /// Profile name.
+    pub profile: String,
+    /// Committed workload transactions.
+    pub committed: u64,
+    /// Aborted workload transactions.
+    pub aborted: u64,
+    /// Crash-class faults injected.
+    pub crashes: u64,
+    /// All faults injected.
+    pub faults: u64,
+    /// Exported artifacts, if collection was on.
+    pub artifacts: Option<Artifacts>,
+}
+
+/// One oracle violation: everything needed to reproduce and report it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The seed.
+    pub seed: u64,
+    /// Profile name.
+    pub profile: String,
+    /// Which oracle fired ("durability", "atomicity",
+    /// "recovery-equivalence", "replication-monotonicity",
+    /// "autoscale-availability", "determinism").
+    pub oracle: &'static str,
+    /// Human-readable divergence detail.
+    pub detail: String,
+    /// The fault schedule that produced it.
+    pub schedule: FaultSchedule,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ORACLE VIOLATION [{}] profile={} {}\n  detail: {}\n  replay: cloudybench chaos --profile {} --replay {}",
+            self.oracle, self.profile, self.schedule, self.detail, self.profile, self.seed
+        )
+    }
+}
+
+/// Run one seed with its generated schedule.
+pub fn run_seed(
+    profile: &SutProfile,
+    seed: u64,
+    opts: &ChaosOptions,
+) -> Result<SeedReport, Violation> {
+    let schedule = FaultSchedule::generate(seed, opts.txns);
+    run_with_schedule(profile, seed, &schedule, opts)
+}
+
+/// Run one seed under an explicit schedule (the shrinker's entry point).
+pub fn run_with_schedule(
+    profile: &SutProfile,
+    seed: u64,
+    schedule: &FaultSchedule,
+    opts: &ChaosOptions,
+) -> Result<SeedReport, Violation> {
+    let mut h = Harness::new(profile, seed, schedule.clone(), opts.clone());
+    h.run()
+}
+
+struct Harness {
+    dep: Deployment,
+    shadow: ShadowModel,
+    /// The storage tier's durable WAL copy since birth; never truncated.
+    archive: Vec<WalRecord>,
+    /// Durable (acknowledged) log head.
+    acked: Lsn,
+    now: SimTime,
+    wl_rng: DetRng,
+    fault_rng: DetRng,
+    obs: ObsSink,
+    schedule: FaultSchedule,
+    opts: ChaosOptions,
+    seed: u64,
+    max_txn: u64,
+    committed: u64,
+    aborted: u64,
+    crashes: u64,
+    faults: u64,
+}
+
+impl Harness {
+    fn new(profile: &SutProfile, seed: u64, schedule: FaultSchedule, opts: ChaosOptions) -> Self {
+        let dep = Deployment::new(profile.clone(), 1, opts.sim_scale, 1, seed);
+        let shadow = ShadowModel::from_db(&dep.db);
+        let mut root = DetRng::seeded(seed);
+        let wl_rng = root.fork(0xB0B);
+        let fault_rng = root.fork(0xFA117);
+        let obs = if opts.collect_artifacts {
+            ObsSink::enabled()
+        } else {
+            ObsSink::disabled()
+        };
+        Harness {
+            dep,
+            shadow,
+            archive: Vec::new(),
+            acked: Lsn::ZERO,
+            now: SimTime::from_secs(1),
+            wl_rng,
+            fault_rng,
+            obs,
+            schedule,
+            opts,
+            seed,
+            max_txn: 0,
+            committed: 0,
+            aborted: 0,
+            crashes: 0,
+            faults: 0,
+        }
+    }
+
+    fn violation(&self, oracle: &'static str, detail: String) -> Violation {
+        Violation {
+            seed: self.seed,
+            profile: self.dep.profile.name.to_string(),
+            oracle,
+            detail,
+            schedule: self.schedule.clone(),
+        }
+    }
+
+    /// Copy every record the log has appended since the last pull into the
+    /// archive. Called at acknowledgement points only, so the archive never
+    /// contains un-acked tail records.
+    fn pull_archive(&mut self) {
+        let last = self.archive.last().map(|r| r.lsn).unwrap_or(Lsn::ZERO);
+        self.archive
+            .extend(self.dep.db.log().records_after(last).iter().cloned());
+    }
+
+    fn run(&mut self) -> Result<SeedReport, Violation> {
+        let events = self.schedule.events.clone();
+        let mut next_event = 0usize;
+        for i in 0..self.opts.txns {
+            while next_event < events.len() && events[next_event].at_txn == i {
+                self.inject(&events[next_event].kind)?;
+                next_event += 1;
+            }
+            self.exec_txn()?;
+            self.maybe_checkpoint(i);
+        }
+        // Final equivalence gate: with every transaction finished, the live
+        // database must equal the shadow exactly.
+        let diff = self.shadow.diff(&self.dep.db);
+        if !diff.is_empty() {
+            return Err(self.violation("recovery-equivalence", diff.summary()));
+        }
+        let artifacts = self.obs.with(|t| Artifacts {
+            trace: chrome_trace_json(t),
+            hist_json: histogram_summary_json(t),
+            hist_csv: histogram_csv(t),
+            timeline: ascii_timeline(t),
+        });
+        Ok(SeedReport {
+            seed: self.seed,
+            profile: self.dep.profile.name.to_string(),
+            committed: self.committed,
+            aborted: self.aborted,
+            crashes: self.crashes,
+            faults: self.faults,
+            artifacts,
+        })
+    }
+
+    /// Periodic checkpoint + log truncation for profiles that checkpoint,
+    /// exercising the truncated-prefix recovery path.
+    fn maybe_checkpoint(&mut self, i: u64) {
+        if self.dep.profile.checkpoint_interval.is_none() || i == 0 || !i.is_multiple_of(25) {
+            return;
+        }
+        let start = self.now;
+        let (lsn, _pages, io) =
+            self.dep
+                .db
+                .checkpoint(&mut self.dep.nodes[0].pool, &mut self.dep.storage, self.now);
+        self.now += io.max(SimDuration::from_millis(1));
+        self.pull_archive();
+        self.acked = self.dep.db.log().head();
+        // Truncate everything before the checkpoint record; the archive kept
+        // its own copy.
+        self.dep.db.log_mut().truncate_through(Lsn(lsn.0 - 1));
+        self.obs
+            .span(Category::Checkpoint, "checkpoint", 0, start, self.now);
+    }
+
+    /// One randomized T1–T4 transaction, mirrored into the shadow at ack.
+    fn exec_txn(&mut self) -> Result<(), Violation> {
+        let orders_hi = self.dep.shape.orders as i64;
+        let t_orders = self.dep.tables.orders;
+        let t_customer = self.dep.tables.customer;
+        let t_orderline = self.dep.tables.orderline;
+        let now = self.now;
+        let kind = self.wl_rng.pick_weighted(&[45.0, 43.0, 10.0, 2.0]);
+        let abort_roll = self.wl_rng.chance(0.06);
+        let remote = self
+            .dep
+            .remote_pool
+            .as_mut()
+            .map(|pool| RemoteTier { pool });
+        let mut ctx = ExecCtx::new(
+            now,
+            &mut self.dep.nodes[0].pool,
+            remote,
+            &mut self.dep.storage,
+            &self.dep.profile.cost_model,
+        );
+        let db = &mut self.dep.db;
+        let mut txn = db.begin();
+        self.max_txn = self.max_txn.max(txn.id().0);
+        let mut staged: Vec<ShadowOp> = Vec::new();
+        let name = match kind {
+            0 => {
+                // T1: insert a new orderline with an auto key.
+                let rest = vec![
+                    Value::Int(self.wl_rng.range_inclusive(1, orders_hi)),
+                    Value::Int(self.wl_rng.range_inclusive(1, 100_000)),
+                    Value::Int(self.wl_rng.range_inclusive(1, 10)),
+                    Value::Int(self.wl_rng.range_inclusive(100, 50_000)),
+                ];
+                let key = db
+                    .insert_auto(&mut ctx, &mut txn, t_orderline, rest.clone())
+                    .expect("auto keys never collide");
+                let mut values = vec![Value::Int(key)];
+                values.extend(rest);
+                staged.push(ShadowOp::Put(t_orderline, key, Row::new(values)));
+                "t1"
+            }
+            1 => {
+                // T2: pay an order — status flip plus customer credit.
+                let o_id = self.wl_rng.range_inclusive(1, orders_hi);
+                if let Some(order) = db.get(&mut ctx, t_orders, o_id) {
+                    let c_id = order.values[1].expect_int();
+                    let amount = self.wl_rng.range_inclusive(100, 10_000);
+                    let ts = (now.as_nanos() / 1_000) as i64;
+                    db.update(&mut ctx, &mut txn, t_orders, o_id, |r| {
+                        r.values[2] = Value::Text("PAID".to_string());
+                        r.values[5] = Value::Timestamp(ts);
+                    })
+                    .expect("orders schema is stable");
+                    staged.push(ShadowOp::Put(
+                        t_orders,
+                        o_id,
+                        db.get(&mut ctx, t_orders, o_id).expect("just updated"),
+                    ));
+                    if db
+                        .update(&mut ctx, &mut txn, t_customer, c_id, |r| {
+                            let credit = r.values[2].expect_int();
+                            r.values[2] = Value::Int(credit + amount);
+                            r.values[3] = Value::Timestamp(ts);
+                        })
+                        .expect("customer schema is stable")
+                    {
+                        staged.push(ShadowOp::Put(
+                            t_customer,
+                            c_id,
+                            db.get(&mut ctx, t_customer, c_id).expect("just updated"),
+                        ));
+                    }
+                }
+                "t2"
+            }
+            2 => {
+                // T3: order-status read.
+                let o_id = self.wl_rng.range_inclusive(1, orders_hi);
+                let _ = db.get(&mut ctx, t_orders, o_id);
+                "t3"
+            }
+            _ => {
+                // T4: delete an orderline (original or workload-inserted).
+                let hi = (db.table(t_orderline).next_auto_key() - 1).max(1);
+                let ol = self.wl_rng.range_inclusive(1, hi);
+                if db.delete(&mut ctx, &mut txn, t_orderline, ol) {
+                    staged.push(ShadowOp::Delete(t_orderline, ol));
+                }
+                "t4"
+            }
+        };
+        if abort_roll && !staged.is_empty() {
+            db.abort(&mut ctx, txn);
+            self.aborted += 1;
+            // Staged shadow ops are dropped: the abort undid everything.
+        } else {
+            db.commit(&mut ctx, txn);
+            self.committed += 1;
+            for op in staged {
+                self.shadow.apply(op);
+            }
+        }
+        // Acknowledgement: the log tail is flushed (group commit), so the
+        // storage tier's archive catches up and the durable head advances.
+        let latency = ctx.cpu + ctx.io;
+        drop(ctx);
+        self.pull_archive();
+        self.acked = self.dep.db.log().head();
+        self.obs.record("chaos.txn_ns", latency.as_nanos());
+        self.obs.span(Category::Txn, name, 0, now, now + latency);
+        self.now = now + latency + SimDuration::from_micros(250);
+        Ok(())
+    }
+
+    fn inject(&mut self, kind: &FaultKind) -> Result<(), Violation> {
+        self.faults += 1;
+        match *kind {
+            FaultKind::CrashAtLsn {
+                in_flight,
+                ops_each,
+            } => self.crash(in_flight, ops_each, None, None),
+            FaultKind::CrashMidCheckpoint {
+                after_record,
+                in_flight,
+            } => {
+                let start = self.now;
+                if after_record {
+                    // The checkpoint record lands and is durable, but the
+                    // crash preempts the log truncation that would follow.
+                    let (_lsn, _pages, io) = self.dep.db.checkpoint(
+                        &mut self.dep.nodes[0].pool,
+                        &mut self.dep.storage,
+                        self.now,
+                    );
+                    self.now += io.max(SimDuration::from_millis(1));
+                    self.pull_archive();
+                    self.acked = self.dep.db.log().head();
+                } else {
+                    // Dirty pages flush, then the crash strikes before the
+                    // checkpoint record is appended.
+                    let _ = self.dep.nodes[0].pool.flush_dirty();
+                    self.now += SimDuration::from_millis(1);
+                }
+                self.obs
+                    .span(Category::Checkpoint, "ckpt-interrupted", 0, start, self.now);
+                self.crash(in_flight, 2, None, None)
+            }
+            FaultKind::TornWrite {
+                in_flight,
+                ops_each,
+                cut_permille,
+            } => self.crash(in_flight, ops_each, Some(cut_permille), None),
+            FaultKind::HeartbeatLoss {
+                silent_ms,
+                in_flight,
+            } => {
+                let mut mon = HeartbeatMonitor::new(SimDuration::from_millis(250), 3);
+                mon.beat(self.now);
+                let earliest = mon.detection_instant(self.now);
+                let detected =
+                    (self.now + SimDuration::from_millis(silent_ms as u64)).max(earliest);
+                debug_assert!(matches!(mon.check(detected), NodeHealth::Failed { .. }));
+                self.obs
+                    .span(Category::Failover, "hb-silence", 1, self.now, detected);
+                self.crash(in_flight, 2, None, Some(detected))
+            }
+            FaultKind::LagSpike { burst } => self.lag_spike(burst),
+            FaultKind::AutoscaleThrash { cycles } => self.autoscale_thrash(cycles),
+        }
+    }
+
+    /// Crash the primary with `in_flight` open transactions, run both
+    /// recovery paths, and check every state oracle.
+    fn crash(
+        &mut self,
+        in_flight: u8,
+        ops_each: u8,
+        torn_cut_permille: Option<u16>,
+        detected_at: Option<SimTime>,
+    ) -> Result<(), Violation> {
+        self.crashes += 1;
+        let crash_at = self.now;
+        // 1. Open loser transactions: DML that will be in flight at the
+        //    crash. `mem::forget` models the process dying mid-transaction.
+        for _ in 0..in_flight {
+            let orders_hi = self.dep.shape.orders as i64;
+            let remote = self
+                .dep
+                .remote_pool
+                .as_mut()
+                .map(|pool| RemoteTier { pool });
+            let mut ctx = ExecCtx::new(
+                crash_at,
+                &mut self.dep.nodes[0].pool,
+                remote,
+                &mut self.dep.storage,
+                &self.dep.profile.cost_model,
+            );
+            let db = &mut self.dep.db;
+            let mut txn = db.begin();
+            self.max_txn = self.max_txn.max(txn.id().0);
+            for _ in 0..ops_each {
+                match self.fault_rng.below(3) {
+                    0 => {
+                        let rest = vec![
+                            Value::Int(self.fault_rng.range_inclusive(1, orders_hi)),
+                            Value::Int(7),
+                            Value::Int(1),
+                            Value::Int(500),
+                        ];
+                        db.insert_auto(&mut ctx, &mut txn, self.dep.tables.orderline, rest)
+                            .expect("auto keys never collide");
+                    }
+                    1 => {
+                        let o_id = self.fault_rng.range_inclusive(1, orders_hi);
+                        db.update(&mut ctx, &mut txn, self.dep.tables.orders, o_id, |r| {
+                            r.values[2] = Value::Text("SHIPPED".to_string());
+                        })
+                        .expect("orders schema is stable");
+                    }
+                    _ => {
+                        let hi = (db.table(self.dep.tables.orderline).next_auto_key() - 1).max(1);
+                        let ol = self.fault_rng.range_inclusive(1, hi);
+                        let _ = db.delete(&mut ctx, &mut txn, self.dep.tables.orderline, ol);
+                    }
+                }
+            }
+            std::mem::forget(txn);
+        }
+        // 2. The complete epoch tail (everything past the durable head),
+        //    captured *before* any of it is lost — the in-place undo pass
+        //    needs the before-images of loser records even when the torn
+        //    write destroys their log entries.
+        let tail: Vec<WalRecord> = self.dep.db.log().records_after(self.acked).to_vec();
+        // 3. Torn write: a byte prefix of the encoded tail reaches durable
+        //    storage; whole surviving frames are kept.
+        let survivors = match torn_cut_permille {
+            None => 0usize,
+            Some(permille) => {
+                let bytes = encode_segment(&tail);
+                let cut = bytes.len() * (permille.min(1000) as usize) / 1000;
+                let torn = &bytes[..cut];
+                let mut n = 0usize;
+                let mut pos = 0usize;
+                while pos < torn.len() {
+                    match decode_record(torn, pos) {
+                        Ok((_, next)) => {
+                            n += 1;
+                            pos = next;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                n
+            }
+        };
+        let durable_head = Lsn(self.acked.0 + survivors as u64);
+        // 4. Crash: volatile state (locks) dies with the node.
+        self.dep.db.simulate_crash();
+        self.obs.instant(Category::Failover, "crash", 0, crash_at);
+        // 5. Replay oracle: restore the base snapshot and roll the durable
+        //    archive forward. Only committed transactions replay.
+        self.archive.extend(tail[..survivors].iter().cloned());
+        let mut replayed = self.dep.base_database();
+        let redo_src = self.bugged_archive();
+        let redo_start = self.now;
+        let redone = redo_committed(&mut replayed, &redo_src);
+        self.check_state(&replayed, "replay")?;
+        // 6. In-place ARIES oracle: undo losers on the crashed image using
+        //    the full pre-crash tail. The database continues from this
+        //    repaired image (its log is consistent, unlike the replay's).
+        let undone = undo_losers(&mut self.dep.db, &tail);
+        self.check_state(&self.dep.db, "in-place-undo")?;
+        debug_assert!(undone as usize <= tail.len());
+        // 7. Reconcile the continuing log with what durable storage kept,
+        //    and never reuse a transaction id from the old incarnation.
+        self.dep.db.log_mut().discard_after(durable_head);
+        self.dep.db.fast_forward_txns(TxnId(self.max_txn));
+        self.acked = self.dep.db.log().head();
+        // 8. Fail-over timeline: detection (possibly delayed by heartbeat
+        //    loss) -> restart -> recovery, per the profile's model.
+        let analysis = analyze(self.dep.db.log(), self.dep.db.last_checkpoint());
+        let detected = detected_at
+            .unwrap_or(crash_at + self.dep.profile.failover.detection)
+            .max(self.now);
+        let tl =
+            plan_failover_with_detection(&self.dep.profile.failover, crash_at, detected, &analysis);
+        for p in &tl.phases {
+            self.obs.span(Category::Failover, p.name, 1, p.start, p.end);
+        }
+        self.obs.span(
+            Category::Recovery,
+            "redo+undo",
+            0,
+            redo_start,
+            tl.service_resumed_at,
+        );
+        self.obs.add("chaos.crashes", 1);
+        self.obs.add("chaos.redone", redone);
+        self.obs.add("chaos.undone", undone);
+        let downtime = tl.downtime();
+        self.dep.nodes[0].restart(crash_at, downtime, self.dep.profile.failover.warmup);
+        self.now = tl.service_resumed_at.max(self.now) + SimDuration::from_millis(1);
+        Ok(())
+    }
+
+    /// The archive as the replay path sees it — identical unless the
+    /// test-only `bug_skip_redo` mutation drops a committed DML record.
+    fn bugged_archive(&self) -> Vec<WalRecord> {
+        let Some(n) = self.opts.bug_skip_redo else {
+            return self.archive.clone();
+        };
+        use std::collections::HashSet;
+        let committed: HashSet<TxnId> = self
+            .archive
+            .iter()
+            .filter(|r| matches!(r.op, WalOp::Commit))
+            .map(|r| r.txn)
+            .collect();
+        let mut dml_seen = 0usize;
+        self.archive
+            .iter()
+            .filter(|r| {
+                if r.op.is_dml() && committed.contains(&r.txn) {
+                    let skip = dml_seen == n;
+                    dml_seen += 1;
+                    !skip
+                } else {
+                    true
+                }
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Compare a recovered database against the shadow, classifying any
+    /// divergence into the durability / atomicity / equivalence oracles.
+    fn check_state(&self, db: &cb_engine::Database, path: &str) -> Result<(), Violation> {
+        let diff = self.shadow.diff(db);
+        if diff.is_empty() {
+            return Ok(());
+        }
+        let oracle = if !diff.missing.is_empty() {
+            "durability"
+        } else if !diff.extra.is_empty() {
+            "atomicity"
+        } else {
+            "recovery-equivalence"
+        };
+        Err(self.violation(
+            oracle,
+            format!("{path} recovery diverged: {}", diff.summary()),
+        ))
+    }
+
+    /// A burst of rapid commits through the replication stream; replica
+    /// visibility must be monotone and lag non-negative.
+    fn lag_spike(&mut self, burst: u16) -> Result<(), Violation> {
+        let start = self.now;
+        let mut last_visible = SimTime::ZERO;
+        for b in 0..burst {
+            let commit_time = self.now + SimDuration::from_micros(50) * b as u64;
+            let dml = 1 + self.fault_rng.below(20);
+            let visible = self.dep.streams[0].on_commit(self.acked, commit_time, dml);
+            if visible < commit_time {
+                return Err(self.violation(
+                    "replication-monotonicity",
+                    format!(
+                        "commit at {:?} visible at {:?} (before it committed)",
+                        commit_time, visible
+                    ),
+                ));
+            }
+            if visible < last_visible {
+                return Err(self.violation(
+                    "replication-monotonicity",
+                    format!(
+                        "visibility went backwards: {:?} after {:?}",
+                        visible, last_visible
+                    ),
+                ));
+            }
+            last_visible = visible;
+        }
+        self.now = last_visible.max(self.now) + SimDuration::from_millis(1);
+        self.obs
+            .span(Category::Replication, "lag-spike", 2, start, self.now);
+        Ok(())
+    }
+
+    /// Rapid vcore thrash on the primary and pause/resume on the replica;
+    /// the replica must come back available.
+    fn autoscale_thrash(&mut self, cycles: u8) -> Result<(), Violation> {
+        let start = self.now;
+        let min_v = self.dep.profile.min_vcores;
+        let max_v = self.dep.profile.max_vcores;
+        for _ in 0..cycles {
+            self.dep.nodes[0].set_vcores(self.now, min_v);
+            self.now += SimDuration::from_millis(200);
+            self.dep.nodes[0].set_vcores(self.now, max_v);
+            self.dep.nodes[1].pause(self.now);
+            self.now += SimDuration::from_millis(100);
+            self.dep.nodes[1].resume(self.now, max_v, SimDuration::from_millis(500));
+            let back = self.dep.nodes[1].available_at(self.now).unwrap_or(self.now);
+            self.now = back + SimDuration::from_millis(1);
+            if !self.dep.nodes[1].is_available(self.now) {
+                return Err(self.violation(
+                    "autoscale-availability",
+                    format!("replica still unavailable at {:?} after resume", self.now),
+                ));
+            }
+        }
+        self.obs
+            .span(Category::Autoscale, "thrash", 2, start, self.now);
+        Ok(())
+    }
+}

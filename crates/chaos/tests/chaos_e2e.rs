@@ -1,0 +1,174 @@
+//! End-to-end chaos-harness tests: clean campaigns across every SUT
+//! profile, the deliberately-bugged-recovery self-test, and determinism.
+
+use cb_chaos::{
+    run_campaign, run_seed, run_with_schedule, shrink, ChaosOptions, FaultEvent, FaultKind,
+    FaultSchedule,
+};
+use cb_sut::SutProfile;
+
+fn quick_opts() -> ChaosOptions {
+    ChaosOptions {
+        txns: 40,
+        ..ChaosOptions::default()
+    }
+}
+
+#[test]
+fn all_profiles_survive_a_small_campaign() {
+    let seeds: Vec<u64> = (1..=6).collect();
+    for profile in SutProfile::all() {
+        let report = run_campaign(&profile, &seeds, &quick_opts());
+        assert!(
+            report.clean(),
+            "{}: {}",
+            profile.name,
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(report.reports.len(), seeds.len());
+        for r in &report.reports {
+            assert!(r.committed > 0, "seed {} committed nothing", r.seed);
+            assert!(r.artifacts.is_some());
+        }
+    }
+}
+
+#[test]
+fn every_fault_kind_is_survivable() {
+    // One schedule that fires all six fault kinds in a single run.
+    let schedule = FaultSchedule {
+        seed: 99,
+        events: vec![
+            FaultEvent {
+                at_txn: 4,
+                kind: FaultKind::CrashAtLsn {
+                    in_flight: 2,
+                    ops_each: 3,
+                },
+            },
+            FaultEvent {
+                at_txn: 8,
+                kind: FaultKind::CrashMidCheckpoint {
+                    after_record: true,
+                    in_flight: 1,
+                },
+            },
+            FaultEvent {
+                at_txn: 12,
+                kind: FaultKind::TornWrite {
+                    in_flight: 2,
+                    ops_each: 2,
+                    cut_permille: 500,
+                },
+            },
+            FaultEvent {
+                at_txn: 16,
+                kind: FaultKind::HeartbeatLoss {
+                    silent_ms: 1500,
+                    in_flight: 1,
+                },
+            },
+            FaultEvent {
+                at_txn: 20,
+                kind: FaultKind::LagSpike { burst: 16 },
+            },
+            FaultEvent {
+                at_txn: 24,
+                kind: FaultKind::AutoscaleThrash { cycles: 2 },
+            },
+        ],
+    };
+    for profile in SutProfile::all() {
+        let r = run_with_schedule(&profile, 99, &schedule, &quick_opts());
+        match r {
+            Ok(report) => {
+                assert_eq!(report.crashes, 4, "{}", profile.name);
+                assert_eq!(report.faults, 6, "{}", profile.name);
+            }
+            Err(v) => panic!("{}: {v}", profile.name),
+        }
+    }
+}
+
+#[test]
+fn bugged_recovery_is_caught_and_shrunk() {
+    // Self-test of the oracles: a recovery path that silently skips one
+    // committed redo record must be caught, and the shrinker must reduce
+    // the schedule to just the crash that exposes it.
+    let profile = SutProfile::by_name("aws-rds").unwrap();
+    let schedule = FaultSchedule {
+        seed: 4242,
+        events: vec![
+            FaultEvent {
+                at_txn: 10,
+                kind: FaultKind::LagSpike { burst: 8 },
+            },
+            FaultEvent {
+                at_txn: 14,
+                kind: FaultKind::CrashAtLsn {
+                    in_flight: 2,
+                    ops_each: 2,
+                },
+            },
+            FaultEvent {
+                at_txn: 20,
+                kind: FaultKind::AutoscaleThrash { cycles: 2 },
+            },
+        ],
+    };
+    let opts = ChaosOptions {
+        bug_skip_redo: Some(0),
+        ..quick_opts()
+    };
+    // Sanity: without the injected bug the schedule is clean.
+    assert!(run_with_schedule(&profile, 4242, &schedule, &quick_opts()).is_ok());
+    let v = run_with_schedule(&profile, 4242, &schedule, &opts)
+        .expect_err("the equivalence oracle must catch the skipped redo record");
+    assert!(
+        matches!(
+            v.oracle,
+            "durability" | "atomicity" | "recovery-equivalence"
+        ),
+        "unexpected oracle: {}",
+        v.oracle
+    );
+    assert!(v.detail.contains("replay"), "{}", v.detail);
+    let (minimal, witness) = shrink(&schedule, v, |candidate| {
+        run_with_schedule(&profile, 4242, candidate, &opts).err()
+    });
+    // The lag spike and the thrash are innocent; only the crash remains.
+    assert_eq!(minimal.events.len(), 1, "minimal: {minimal}");
+    assert!(minimal.events[0].kind.is_crash(), "minimal: {minimal}");
+    assert!(matches!(
+        witness.oracle,
+        "durability" | "atomicity" | "recovery-equivalence"
+    ));
+}
+
+#[test]
+fn same_seed_reproduces_identical_artifacts() {
+    let profile = SutProfile::by_name("cdb4").unwrap();
+    let a = run_seed(&profile, 31337, &quick_opts()).expect("clean run");
+    let b = run_seed(&profile, 31337, &quick_opts()).expect("clean run");
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.aborted, b.aborted);
+    assert_eq!(a.crashes, b.crashes);
+    assert_eq!(
+        a.artifacts.expect("artifacts on"),
+        b.artifacts.expect("artifacts on"),
+        "same seed must produce byte-identical artifacts"
+    );
+}
+
+#[test]
+fn replaying_a_printed_seed_regenerates_the_schedule() {
+    for seed in [0u64, 1, 17, 0xDEAD_BEEF] {
+        let printed = FaultSchedule::generate(seed, 40).to_string();
+        assert_eq!(FaultSchedule::generate(seed, 40).to_string(), printed);
+    }
+}

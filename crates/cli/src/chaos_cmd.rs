@@ -1,0 +1,194 @@
+//! The `cloudybench chaos` subcommand: drive the cb-chaos fuzz campaign.
+//!
+//! ```text
+//! cloudybench chaos --seeds 100                 # all profiles, seeds 0..100
+//! cloudybench chaos --seeds 50 --profile cdb3   # one profile
+//! cloudybench chaos --replay 42 --profile cdb1  # reproduce one seed
+//! cloudybench chaos --out failures/             # write reproducers there
+//! ```
+
+use std::path::PathBuf;
+
+use cb_chaos::{run_campaign, run_seed, ChaosOptions, FaultSchedule, ShrunkViolation};
+use cb_sut::SutProfile;
+
+/// Parsed `chaos` subcommand arguments.
+struct ChaosArgs {
+    seeds: u64,
+    profiles: Vec<SutProfile>,
+    replay: Option<u64>,
+    bug_skip_redo: Option<usize>,
+    txns: u64,
+    out: Option<PathBuf>,
+}
+
+fn chaos_usage() -> String {
+    let names: Vec<&str> = SutProfile::all().iter().map(|p| p.name).collect();
+    format!(
+        "usage: cloudybench chaos [--seeds N] [--profile NAME] [--replay SEED]\n\
+         \x20                        [--txns N] [--bug-skip-redo N] [--out DIR]\n\
+         \n\
+         --seeds N          seeds 0..N per profile (default 20)\n\
+         --profile NAME     limit to one profile ({})\n\
+         --replay SEED      re-run one seed, printing its fault schedule\n\
+         --txns N           workload transactions per seed (default 60)\n\
+         --bug-skip-redo N  self-test: skip the N-th committed redo record\n\
+         --out DIR          write failure reproducers (and replay artifacts) to DIR",
+        names.join("|")
+    )
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<ChaosArgs, String> {
+    let mut parsed = ChaosArgs {
+        seeds: 20,
+        profiles: SutProfile::all(),
+        replay: None,
+        bug_skip_redo: None,
+        txns: 60,
+        out: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{}", chaos_usage()))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                parsed.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--profile" => {
+                let name = value("--profile")?;
+                let p = SutProfile::by_name(&name)
+                    .ok_or_else(|| format!("unknown profile {name:?}\n{}", chaos_usage()))?;
+                parsed.profiles = vec![p];
+            }
+            "--replay" => {
+                parsed.replay = Some(
+                    value("--replay")?
+                        .parse()
+                        .map_err(|e| format!("--replay: {e}"))?,
+                )
+            }
+            "--bug-skip-redo" => {
+                parsed.bug_skip_redo = Some(
+                    value("--bug-skip-redo")?
+                        .parse()
+                        .map_err(|e| format!("--bug-skip-redo: {e}"))?,
+                )
+            }
+            "--txns" => {
+                parsed.txns = value("--txns")?
+                    .parse()
+                    .map_err(|e| format!("--txns: {e}"))?
+            }
+            "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => return Err(chaos_usage()),
+            other => return Err(format!("unknown argument {other:?}\n{}", chaos_usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn write_failure(out: &Option<PathBuf>, v: &ShrunkViolation) {
+    let Some(dir) = out else { return };
+    let path = dir.join(format!(
+        "chaos-failure-{}-{}.txt",
+        v.violation.profile, v.violation.seed
+    ));
+    let body = format!(
+        "{}\n\nminimal reproducer:\n  {}\n\nreplay with:\n  cloudybench chaos --profile {} --replay {} --txns <same>\n",
+        v.violation, v.minimal, v.violation.profile, v.violation.seed
+    );
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, body)) {
+        eprintln!("cloudybench chaos: writing {}: {e}", path.display());
+    } else {
+        eprintln!("reproducer written to {}", path.display());
+    }
+}
+
+/// Entry point for `cloudybench chaos ...`. Returns the process exit code:
+/// zero iff every seed on every profile passed all oracles.
+pub fn chaos_main(args: impl Iterator<Item = String>) -> u8 {
+    let parsed = match parse(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let opts = ChaosOptions {
+        txns: parsed.txns,
+        bug_skip_redo: parsed.bug_skip_redo,
+        ..ChaosOptions::default()
+    };
+    if let Some(seed) = parsed.replay {
+        return replay(seed, &parsed, &opts);
+    }
+    let seeds: Vec<u64> = (0..parsed.seeds).collect();
+    let mut total_ok = 0usize;
+    let mut total_bad = 0usize;
+    for profile in &parsed.profiles {
+        let report = run_campaign(profile, &seeds, &opts);
+        let crashes: u64 = report.reports.iter().map(|r| r.crashes).sum();
+        let faults: u64 = report.reports.iter().map(|r| r.faults).sum();
+        println!(
+            "{:8}  seeds={}  clean={}  violations={}  faults={} (crashes={})",
+            profile.name,
+            seeds.len(),
+            report.reports.len(),
+            report.violations.len(),
+            faults,
+            crashes,
+        );
+        total_ok += report.reports.len();
+        total_bad += report.violations.len();
+        for v in &report.violations {
+            eprintln!("{v}");
+            write_failure(&parsed.out, v);
+        }
+    }
+    println!(
+        "chaos: {} clean seed-runs, {} violations across {} profile(s)",
+        total_ok,
+        total_bad,
+        parsed.profiles.len()
+    );
+    u8::from(total_bad > 0)
+}
+
+fn replay(seed: u64, parsed: &ChaosArgs, opts: &ChaosOptions) -> u8 {
+    let mut failed = false;
+    for profile in &parsed.profiles {
+        let schedule = FaultSchedule::generate(seed, opts.txns);
+        println!("{:8}  {}", profile.name, schedule);
+        match run_seed(profile, seed, opts) {
+            Ok(r) => {
+                println!(
+                    "{:8}  committed={} aborted={} crashes={} faults={}",
+                    profile.name, r.committed, r.aborted, r.crashes, r.faults
+                );
+                if let (Some(dir), Some(a)) = (&parsed.out, &r.artifacts) {
+                    let dir = dir.join(format!("chaos-{}-{}", profile.name, seed));
+                    let write = std::fs::create_dir_all(&dir).and_then(|_| {
+                        std::fs::write(dir.join(cb_obs::export::TRACE_FILE), &a.trace)?;
+                        std::fs::write(dir.join(cb_obs::export::HIST_JSON_FILE), &a.hist_json)?;
+                        std::fs::write(dir.join(cb_obs::export::HIST_CSV_FILE), &a.hist_csv)?;
+                        std::fs::write(dir.join(cb_obs::export::TIMELINE_FILE), &a.timeline)
+                    });
+                    match write {
+                        Ok(()) => println!("artifacts written to {}", dir.display()),
+                        Err(e) => eprintln!("cloudybench chaos: writing artifacts: {e}"),
+                    }
+                }
+            }
+            Err(v) => {
+                eprintln!("{v}");
+                failed = true;
+            }
+        }
+    }
+    u8::from(failed)
+}

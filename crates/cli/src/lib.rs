@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos_cmd;
+
 use cb_obs::ObsSink;
 use cb_sim::{SimDuration, SimTime};
 use cb_sut::SutProfile;

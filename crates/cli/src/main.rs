@@ -13,12 +13,13 @@ use std::io::Read;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use cb_cli::run_from_props_with_obs;
 use cb_obs::{write_run_artifacts, ObsSink};
 use cloudybench::config::Props;
-use cloudybench_cli::run_from_props_with_obs;
 
 fn usage() -> ExitCode {
     eprintln!("usage: cloudybench <props-file | - > [--trace-out DIR] [--metrics-out DIR]");
+    eprintln!("       cloudybench chaos [--seeds N] [--profile NAME] [--replay SEED] ...");
     eprintln!();
     eprintln!("keys: sut (aws-rds|cdb1..cdb4), mode (oltp|elasticity|tenancy|failover|lagtime),");
     eprintln!("      scale_factor, sim_scale, seed, concurrency, duration_secs,");
@@ -31,6 +32,11 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("chaos") {
+        raw.next();
+        return ExitCode::from(cb_cli::chaos_cmd::chaos_main(raw));
+    }
     let mut path: Option<String> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;

@@ -107,12 +107,31 @@ impl FailoverTimeline {
 }
 
 /// Plan a fail-over injected at `inject`, given the WAL analysis at the
-/// moment of failure (ARIES cost depends on it).
+/// moment of failure (ARIES cost depends on it). Detection takes the
+/// model's fixed `detection` duration.
 pub fn plan_failover(
     model: &FailoverModel,
     inject: SimTime,
     analysis: &AriesAnalysis,
 ) -> FailoverTimeline {
+    plan_failover_with_detection(model, inject, inject + model.detection, analysis)
+}
+
+/// Plan a fail-over whose detection instant was determined externally — by a
+/// [`crate::heartbeat::HeartbeatMonitor`], or by a chaos schedule that delays
+/// detection past the model's nominal window (silent heartbeat loss). The
+/// "detect" phase spans `inject → detected_at`; everything after it follows
+/// the model's recovery route unchanged.
+pub fn plan_failover_with_detection(
+    model: &FailoverModel,
+    inject: SimTime,
+    detected_at: SimTime,
+    analysis: &AriesAnalysis,
+) -> FailoverTimeline {
+    assert!(
+        detected_at >= inject,
+        "failure cannot be detected before it is injected"
+    );
     fn push(
         phases: &mut Vec<FailoverPhase>,
         name: &'static str,
@@ -130,7 +149,12 @@ pub fn plan_failover(
 
     let mut phases = Vec::new();
     let mut t = inject;
-    push(&mut phases, "detect", model.detection, &mut t);
+    push(
+        &mut phases,
+        "detect",
+        detected_at.saturating_since(inject),
+        &mut t,
+    );
     match model.kind {
         RecoveryKind::Aries { per_record, base } => {
             push(&mut phases, "restart", model.restart, &mut t);
@@ -259,6 +283,40 @@ mod tests {
         assert!(small.downtime() >= SimDuration::from_secs(8));
         assert_eq!(small.phases.len(), 5);
         assert_eq!(small.phases[0].name, "detect");
+    }
+
+    #[test]
+    fn delayed_detection_shifts_the_whole_timeline() {
+        let m = aries_model();
+        let inject = SimTime::from_secs(50);
+        let nominal = plan_failover(&m, inject, &analysis(1_000, 800, 10));
+        // A chaos scenario where heartbeats were lost for 9s before anyone
+        // noticed: detection takes 9s instead of the model's 2s.
+        let late = plan_failover_with_detection(
+            &m,
+            inject,
+            inject + SimDuration::from_secs(9),
+            &analysis(1_000, 800, 10),
+        );
+        assert_eq!(
+            late.phase("detect").unwrap().duration(),
+            SimDuration::from_secs(9)
+        );
+        assert_eq!(
+            late.downtime(),
+            nominal.downtime() + SimDuration::from_secs(7),
+            "everything after detection is unchanged"
+        );
+        // Nominal detection through the explicit entry point matches the
+        // fixed-duration wrapper exactly.
+        let same = plan_failover_with_detection(
+            &m,
+            inject,
+            inject + m.detection,
+            &analysis(1_000, 800, 10),
+        );
+        assert_eq!(same.downtime(), nominal.downtime());
+        assert_eq!(same.phases, nominal.phases);
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub use autoscale::{
     ScalingPolicy,
 };
 pub use failover::{
-    plan_failover, plan_ro_failover, FailoverModel, FailoverPhase, FailoverTimeline, RecoveryKind,
+    plan_failover, plan_failover_with_detection, plan_ro_failover, FailoverModel, FailoverPhase,
+    FailoverTimeline, RecoveryKind,
 };
 pub use heartbeat::{HeartbeatMonitor, NodeHealth};
 pub use metering::{measure, MeterConfig, ResourceUsage};

@@ -35,6 +35,9 @@ pub struct Deployment {
     pub remote_pool: Option<BufferPool>,
     /// Prepared statements (the `stmt_db.toml` registry).
     pub registry: StmtRegistry,
+    /// Seed the initial dataset was generated from — kept so recovery tests
+    /// can reconstruct the exact pre-WAL base snapshot.
+    pub dataset_seed: u64,
 }
 
 impl Deployment {
@@ -86,7 +89,19 @@ impl Deployment {
             streams,
             remote_pool,
             registry,
+            dataset_seed: seed,
         }
+    }
+
+    /// Reconstruct the base snapshot this deployment's WAL began from: fresh
+    /// tables plus the same seeded dataset, no log records. This is the
+    /// `base` that [`cb_engine::recovery::rebuild`] rolls the archived log
+    /// forward over — the "restore from backup" half of crash recovery.
+    pub fn base_database(&self) -> Database {
+        let mut db = Database::new();
+        let tables = create_tables(&mut db);
+        load_dataset(&mut db, tables, self.shape, self.dataset_seed);
+        db
     }
 
     /// Add one more read-only node (scale-out, for E2-Score).
@@ -220,6 +235,22 @@ mod tests {
             second > first * 0.5,
             "second run healthy: {second} vs {first}"
         );
+    }
+
+    #[test]
+    fn base_database_reproduces_the_initial_snapshot() {
+        let d = tiny(SutProfile::cdb2());
+        let base = d.base_database();
+        for (live, rebuilt) in d.db.tables().iter().zip(base.tables()) {
+            assert_eq!(live.name(), rebuilt.name());
+            assert_eq!(
+                d.db.dump_table(live.id()),
+                base.dump_table(rebuilt.id()),
+                "table {} must match before any transactions ran",
+                live.name()
+            );
+        }
+        assert_eq!(base.log().retained(), 0, "a base snapshot has no WAL");
     }
 
     #[test]

@@ -641,6 +641,26 @@ impl Database {
         (lsn, dirty.len() as u64, io)
     }
 
+    /// Crash simulation: wipe all volatile coordination state (the lock
+    /// table — locks live in node memory and die with the process) and
+    /// return the WAL head at the instant of the crash. Page/log/catalog
+    /// state is left exactly as it was: the caller decides how much of the
+    /// log tail survived (see [`LogStore::discard_after`]) and what recovery
+    /// path to run.
+    pub fn simulate_crash(&mut self) -> Lsn {
+        self.locks.clear();
+        self.log.head()
+    }
+
+    /// Ensure future [`Database::begin`] calls assign transaction ids
+    /// strictly greater than `beyond`. Used when a recovered database
+    /// replaces a crashed one: the archive still holds records from the old
+    /// incarnation, and reusing a TxnId would make an old loser's DML look
+    /// committed to a later replay.
+    pub fn fast_forward_txns(&mut self, beyond: TxnId) {
+        self.next_txn = self.next_txn.max(beyond.0 + 1);
+    }
+
     /// Recovery/replication internal: apply an insert image directly (no
     /// WAL, no cost charging). Panics on duplicate keys — replay from a
     /// consistent base never sees one.

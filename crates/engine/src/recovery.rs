@@ -110,6 +110,52 @@ pub fn redo_committed(db: &mut Database, records: &[WalRecord]) -> u64 {
     applied
 }
 
+/// ARIES undo pass, applied *in place* to a database that still carries the
+/// effects of transactions in flight at a crash (this engine applies DML
+/// eagerly, so a crashed image contains loser effects). Walks `records` in
+/// reverse LSN order and applies the before-image of every DML record whose
+/// transaction has neither a `Commit` nor an `Abort` record in the slice —
+/// the same loser definition [`analyze`] uses (cleanly aborted transactions
+/// already applied their undo images before the crash). Returns the number
+/// of records undone.
+///
+/// The caller must pass the complete log tail of the crash epoch (every
+/// record since the last consistent state): losers are by construction the
+/// last writers of their rows, so reverse application of before-images is
+/// exact. If part of a loser's tail was torn away, in-place undo is not
+/// possible and recovery must replay from a base instead ([`rebuild`]).
+pub fn undo_losers(db: &mut Database, records: &[WalRecord]) -> u64 {
+    use crate::btree::AccessLog;
+    let finished: HashSet<TxnId> = records
+        .iter()
+        .filter(|r| matches!(r.op, WalOp::Commit | WalOp::Abort))
+        .map(|r| r.txn)
+        .collect();
+    let mut alog = AccessLog::new();
+    let mut undone = 0u64;
+    for r in records.iter().rev() {
+        if !r.op.is_dml() || finished.contains(&r.txn) {
+            continue;
+        }
+        match &r.op {
+            WalOp::Insert { table, key, .. } => {
+                db.apply_delete_raw(*table, *key, &mut alog);
+            }
+            WalOp::Update {
+                table, key, before, ..
+            } => {
+                db.apply_update_raw(*table, *key, before, &mut alog);
+            }
+            WalOp::Delete { table, key, before } => {
+                db.apply_insert_raw(*table, *key, before, &mut alog);
+            }
+            _ => unreachable!("is_dml filtered"),
+        }
+        undone += 1;
+    }
+    undone
+}
+
 /// Rebuild a database from a base snapshot constructor plus the full WAL —
 /// the "restore from backup and roll forward" story. The `base` closure must
 /// recreate the same tables (and any bulk-loaded data) that existed when the
@@ -225,6 +271,136 @@ mod tests {
         // Rebuild matches base exactly.
         let rebuilt = rebuild(base, db.log());
         assert_eq!(rebuilt.dump_table(t), base().dump_table(t));
+    }
+
+    #[test]
+    fn undo_losers_repairs_a_crashed_image_in_place() {
+        let mut db = base();
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        {
+            let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+            let mut txn = db.begin();
+            db.insert(&mut ctx, &mut txn, t, row(11, 110)).unwrap();
+            db.commit(&mut ctx, txn);
+            // In flight at the crash: insert + update + delete, never finished.
+            let mut loser = db.begin();
+            db.insert(&mut ctx, &mut loser, t, row(12, 120)).unwrap();
+            db.update(&mut ctx, &mut loser, t, 3, |r| r.values[1] = Value::Int(-1))
+                .unwrap();
+            db.delete(&mut ctx, &mut loser, t, 4);
+            std::mem::forget(loser);
+        }
+        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
+        let undone = undo_losers(&mut db, &records);
+        assert_eq!(undone, 3);
+        // The repaired image equals base + committed work only.
+        let expected = rebuild(base, db.log());
+        assert_eq!(db.dump_table(t), expected.dump_table(t));
+    }
+
+    #[test]
+    fn undo_losers_skips_cleanly_aborted_txns() {
+        let mut db = base();
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+        let mut txn = db.begin();
+        db.insert(&mut ctx, &mut txn, t, row(30, 300)).unwrap();
+        db.abort(&mut ctx, txn);
+        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
+        let before = db.dump_table(t);
+        assert_eq!(undo_losers(&mut db, &records), 0);
+        assert_eq!(db.dump_table(t), before);
+    }
+
+    // --- Recovery edge cases -------------------------------------------------
+
+    #[test]
+    fn empty_wal_recovers_to_base() {
+        let db = base();
+        let a = analyze(db.log(), Lsn::ZERO);
+        assert_eq!(a, AriesAnalysis::default());
+        let rebuilt = rebuild(base, db.log());
+        let t = db.table_id("t").unwrap();
+        assert_eq!(rebuilt.dump_table(t), db.dump_table(t));
+    }
+
+    #[test]
+    fn checkpoint_at_log_tip_leaves_no_work() {
+        let mut db = base();
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        {
+            let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+            let mut txn = db.begin();
+            db.insert(&mut ctx, &mut txn, t, row(40, 400)).unwrap();
+            db.commit(&mut ctx, txn);
+        }
+        let (ckpt, _, _) = db.checkpoint(&mut pool, &mut st, SimTime::ZERO);
+        assert_eq!(ckpt, db.log().head(), "checkpoint sits at the log tip");
+        let a = analyze(db.log(), ckpt);
+        assert_eq!(a, AriesAnalysis::default(), "nothing to redo or undo");
+    }
+
+    #[test]
+    fn abort_after_last_checkpoint_is_not_redone_or_undone() {
+        let mut db = base();
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        let (ckpt, _, _) = db.checkpoint(&mut pool, &mut st, SimTime::ZERO);
+        {
+            let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+            let mut txn = db.begin();
+            db.insert(&mut ctx, &mut txn, t, row(50, 500)).unwrap();
+            db.update(&mut ctx, &mut txn, t, 1, |r| r.values[1] = Value::Int(-7))
+                .unwrap();
+            db.abort(&mut ctx, txn);
+        }
+        let a = analyze(db.log(), ckpt);
+        assert_eq!(a.redo_records, 0);
+        assert_eq!(a.undo_records, 0);
+        assert_eq!(a.loser_txns, 0);
+        assert!(a.scanned >= 4, "begin + 2 DML + abort are still scanned");
+        // In-place undo finds nothing either, and replay matches the live db.
+        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
+        let mut crashed = base();
+        assert_eq!(undo_losers(&mut crashed, &records), 0);
+        let rebuilt = rebuild(base, db.log());
+        assert_eq!(rebuilt.dump_table(t), db.dump_table(t));
+    }
+
+    #[test]
+    fn crash_with_zero_in_flight_txns_is_pure_redo() {
+        let mut db = base();
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        {
+            let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+            for i in 0..3 {
+                let mut txn = db.begin();
+                db.insert(&mut ctx, &mut txn, t, row(60 + i, 600)).unwrap();
+                db.commit(&mut ctx, txn);
+            }
+        }
+        let a = analyze(db.log(), Lsn::ZERO);
+        assert_eq!(a.redo_records, 3);
+        assert_eq!(a.undo_records, 0);
+        assert_eq!(a.loser_txns, 0);
+        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
+        assert_eq!(undo_losers(&mut db, &records), 0, "nothing to undo");
+        let rebuilt = rebuild(base, db.log());
+        assert_eq!(rebuilt.dump_table(t), db.dump_table(t));
     }
 
     #[test]

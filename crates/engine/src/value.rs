@@ -19,7 +19,13 @@ pub enum DataType {
 }
 
 /// A single typed value.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The derived total order compares same-type values naturally (`Int` and
+/// `Timestamp` numerically, `Text` lexicographically by `str` order) and
+/// ranks mixed types by variant declaration order — schemas keep columns
+/// homogeneous, so cross-type comparisons only arise in sort keys over
+/// heterogeneous tuples, where any stable total order suffices.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Value {
     /// Integer.
     Int(i64),

@@ -224,6 +224,38 @@ pub const HIST_CSV_FILE: &str = "histograms.csv";
 /// ASCII timeline file name.
 pub const TIMELINE_FILE: &str = "timeline.txt";
 
+/// Locate the first line where two artifact strings diverge. Returns
+/// `None` when they are byte-identical; otherwise `Some((line_number,
+/// left_line, right_line))` with 1-based numbering (a side that ran out of
+/// lines reports the empty string). Determinism checkers use this to turn
+/// "artifacts differ" into an actionable pointer.
+pub fn first_divergence(left: &str, right: &str) -> Option<(usize, String, String)> {
+    if left == right {
+        return None;
+    }
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line_no = 0usize;
+    loop {
+        line_no += 1;
+        match (l.next(), r.next()) {
+            (Some(a), Some(b)) if a == b => continue,
+            (Some(a), Some(b)) => return Some((line_no, a.to_string(), b.to_string())),
+            (Some(a), None) => return Some((line_no, a.to_string(), String::new())),
+            (None, Some(b)) => return Some((line_no, String::new(), b.to_string())),
+            // Same lines but different bytes (e.g. trailing newline): report
+            // the final line as the divergence point.
+            (None, None) => {
+                return Some((
+                    line_no.saturating_sub(1).max(1),
+                    left.lines().last().unwrap_or("").to_string(),
+                    right.lines().last().unwrap_or("").to_string(),
+                ))
+            }
+        }
+    }
+}
+
 /// Write all four artifacts into `dir` (created if absent): `trace.json`,
 /// `histograms.json`, `histograms.csv`, `timeline.txt`.
 pub fn write_run_artifacts(tracer: &Tracer, dir: &Path) -> std::io::Result<()> {
@@ -262,6 +294,29 @@ mod tests {
         sink.record("commit_ns", 99_999);
         sink.add("wal.appends", 7);
         sink
+    }
+
+    #[test]
+    fn first_divergence_pinpoints_the_differing_line() {
+        assert_eq!(first_divergence("a\nb\nc\n", "a\nb\nc\n"), None);
+        assert_eq!(
+            first_divergence("a\nb\nc\n", "a\nX\nc\n"),
+            Some((2, "b".to_string(), "X".to_string()))
+        );
+        assert_eq!(
+            first_divergence("a\nb\n", "a\n"),
+            Some((2, "b".to_string(), String::new()))
+        );
+        assert_eq!(
+            first_divergence("a\n", "a\nb\n"),
+            Some((2, String::new(), "b".to_string()))
+        );
+        // Byte-level difference invisible to the line iterator still reports.
+        assert!(first_divergence("a\n", "a").is_some());
+        // Two identical runs of the same sink diverge nowhere.
+        let a = sample_sink().with(chrome_trace_json).unwrap();
+        let b = sample_sink().with(chrome_trace_json).unwrap();
+        assert_eq!(first_divergence(&a, &b), None);
     }
 
     #[test]

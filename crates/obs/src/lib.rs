@@ -20,7 +20,8 @@ pub mod hist;
 pub mod trace;
 
 pub use export::{
-    ascii_timeline, chrome_trace_json, histogram_csv, histogram_summary_json, write_run_artifacts,
+    ascii_timeline, chrome_trace_json, first_divergence, histogram_csv, histogram_summary_json,
+    write_run_artifacts,
 };
 pub use hist::LogHistogram;
 pub use trace::{Category, EventKind, ObsSink, SpanHandle, SpanJournal, TraceEvent, Tracer};

@@ -407,4 +407,18 @@ mod tests {
         }
         assert_eq!(r.percentile(50.0), 2.5);
     }
+
+    /// Pin: every percentile of a single-sample series is the sample itself.
+    /// `cb_obs::LogHistogram` pins the same contract on its side (see
+    /// `single_sample_p50_matches_cb_sim_percentile` there), keeping the two
+    /// quantile implementations consistent where exactness is possible.
+    #[test]
+    fn single_sample_percentile_is_the_sample() {
+        for &p in &[0.0, 25.0, 50.0, 90.0, 99.9, 100.0] {
+            assert_eq!(percentile(&[42.5], p), 42.5, "p{p}");
+        }
+        let mut r = Reservoir::new(4);
+        r.offer(7.0);
+        assert_eq!(r.percentile(50.0), 7.0);
+    }
 }

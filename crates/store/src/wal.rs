@@ -184,6 +184,28 @@ impl LogStore {
         self.truncated_through = through;
     }
 
+    /// Crash simulation: drop every record with `lsn > after` — the
+    /// un-flushed (or torn) log tail that never reached durable storage.
+    /// Returns the number of records lost. The next append reuses the freed
+    /// LSNs, exactly as a restarted engine continuing from the durable head
+    /// would. `appended_bytes` is *not* rewound: it counts bytes ever
+    /// submitted, which is what bandwidth statistics want.
+    pub fn discard_after(&mut self, after: Lsn) -> u64 {
+        if after >= self.head() {
+            return 0;
+        }
+        assert!(
+            after >= self.truncated_through,
+            "cannot discard into the truncated prefix ({:?} < {:?})",
+            after,
+            self.truncated_through
+        );
+        let keep = (after.0 - self.truncated_through.0) as usize;
+        let dropped = self.records.len() - keep;
+        self.records.truncate(keep);
+        dropped as u64
+    }
+
     /// Number of retained records.
     pub fn retained(&self) -> usize {
         self.records.len()
@@ -278,6 +300,46 @@ mod tests {
         log.truncate_through(Lsn(1));
         assert!(log.get(Lsn(1)).is_none());
         assert!(log.get(Lsn(2)).is_some());
+    }
+
+    #[test]
+    fn discard_after_drops_the_unflushed_tail() {
+        let mut log = LogStore::new();
+        for k in 0..8 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        assert_eq!(log.discard_after(Lsn(5)), 3);
+        assert_eq!(log.head(), Lsn(5));
+        assert_eq!(log.retained(), 5);
+        // LSNs continue densely from the surviving head.
+        assert_eq!(log.append(TxnId(2), WalOp::Commit), Lsn(6));
+        // Discarding at or past the head is a no-op.
+        assert_eq!(log.discard_after(Lsn(6)), 0);
+        assert_eq!(log.discard_after(Lsn(99)), 0);
+    }
+
+    #[test]
+    fn discard_after_composes_with_truncation() {
+        let mut log = LogStore::new();
+        for k in 0..10 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        log.truncate_through(Lsn(4));
+        assert_eq!(log.discard_after(Lsn(7)), 3);
+        assert_eq!(log.head(), Lsn(7));
+        assert_eq!(log.oldest_retained(), Some(Lsn(5)));
+        assert_eq!(log.records_after(Lsn(4)).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated prefix")]
+    fn discard_into_truncated_prefix_panics() {
+        let mut log = LogStore::new();
+        for k in 0..6 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        log.truncate_through(Lsn(4));
+        let _ = log.discard_after(Lsn(2));
     }
 
     #[test]

@@ -67,7 +67,9 @@ proptest! {
 }
 
 mod codec_props {
-    use cb_store::{decode_segment, encode_segment, Lsn, TableId, TxnId, WalOp, WalRecord};
+    use cb_store::{
+        decode_record, decode_segment, encode_segment, Lsn, TableId, TxnId, WalOp, WalRecord,
+    };
     use proptest::prelude::*;
 
     fn arb_op() -> impl Strategy<Value = WalOp> {
@@ -114,6 +116,45 @@ mod codec_props {
                 // Cutting one byte off must not decode to the same records.
                 let r = decode_segment(&bytes[..bytes.len() - 1]).ok();
                 prop_assert_ne!(r, Some(records));
+            }
+        }
+
+        /// Torn-tail recovery: cutting a segment at an arbitrary byte and
+        /// decoding frame-by-frame yields exactly the longest record prefix
+        /// whose frames survived intact — never a corrupt or phantom record.
+        /// This is precisely what crash recovery does with a torn WAL write.
+        #[test]
+        fn torn_tail_decodes_to_an_exact_record_prefix(
+            ops in prop::collection::vec(arb_op(), 1..30),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let records: Vec<WalRecord> = ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| WalRecord { lsn: Lsn(i as u64 + 1), txn: TxnId(3), op })
+                .collect();
+            let bytes = encode_segment(&records);
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            let torn = &bytes[..cut];
+            // Frame-by-frame decode until the first error.
+            let mut survivors = Vec::new();
+            let mut pos = 0usize;
+            while pos < torn.len() {
+                match decode_record(torn, pos) {
+                    Ok((rec, next)) => {
+                        survivors.push(rec);
+                        pos = next;
+                    }
+                    Err(_) => break,
+                }
+            }
+            // The survivors are an exact prefix of the original sequence.
+            prop_assert!(survivors.len() <= records.len());
+            prop_assert_eq!(&records[..survivors.len()], survivors.as_slice());
+            // Nothing torn ever decodes past the cut, and an uncut segment
+            // survives whole.
+            if cut == bytes.len() {
+                prop_assert_eq!(survivors.len(), records.len());
             }
         }
     }
