@@ -35,6 +35,38 @@ fn bench_btree(c: &mut Criterion) {
             tree.delete(&mut store, k, &mut alog);
         })
     });
+    c.bench_function("btree_scan_1k", |b| {
+        let mut lo = 0i64;
+        b.iter(|| {
+            lo = (lo + 7919) % 99_000;
+            let mut alog = AccessLog::new();
+            let mut sum = 0u64;
+            tree.scan_range(&store, lo, lo + 999, &mut alog, |k, p| {
+                sum = sum.wrapping_add(k as u64).wrapping_add(p.len() as u64);
+                true
+            });
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_secondary(c: &mut Criterion) {
+    use cb_engine::secondary::SecondaryIndex;
+    let mut store = PageStore::new();
+    let mut idx = SecondaryIndex::create(&mut store, 1);
+    let mut alog = AccessLog::new();
+    for pk in 0..50_000i64 {
+        idx.add(&mut store, pk % 5_000, pk, &mut alog);
+        alog.clear();
+    }
+    c.bench_function("secondary_lookup_10", |b| {
+        let mut v = 0i64;
+        b.iter(|| {
+            v = (v + 97) % 5_000;
+            let mut alog = AccessLog::new();
+            black_box(idx.lookup(&store, v, &mut alog))
+        })
+    });
 }
 
 fn bench_bufferpool(c: &mut Criterion) {
@@ -100,6 +132,7 @@ fn bench_row_codec(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_btree,
+    bench_secondary,
     bench_bufferpool,
     bench_wal,
     bench_row_codec

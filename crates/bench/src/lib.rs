@@ -71,6 +71,57 @@ pub fn standard_deployment(profile: &SutProfile, scale_factor: u64) -> Deploymen
     Deployment::new(profile.clone(), scale_factor, SIM_SCALE, 1, SEED)
 }
 
+/// One independent slab of an OLTP grid: a (profile, scale-factor) pair
+/// measured on its own private deployment. The mixes x concurrencies loop
+/// inside a slab runs sequentially on that deployment, exactly as the
+/// original single-threaded figure loop did, so a slab's numbers do not
+/// depend on which worker ran it or when.
+pub struct OltpSlab {
+    /// The SUT profile this slab measured.
+    pub profile: SutProfile,
+    /// The scale factor this slab measured.
+    pub scale_factor: u64,
+    /// `cells[mix_idx][con_idx]`, in the order the mixes/concurrencies
+    /// were given.
+    pub cells: Vec<Vec<OltpCell>>,
+}
+
+/// Run a full (scale factor x profile x mix x concurrency) OLTP grid,
+/// fanning the independent (scale factor, profile) slabs across `jobs`
+/// scoped worker threads. Every slab owns its deployment, seed, and
+/// `ObsSink`; results come back in canonical (scale factor, then profile)
+/// order, so any report built from them is byte-identical to a
+/// `jobs = 1` run.
+pub fn oltp_grid(
+    scale_factors: &[u64],
+    sim_scale: u64,
+    mixes: &[(&'static str, TxnMix)],
+    concurrencies: &[u32],
+    jobs: usize,
+) -> Vec<OltpSlab> {
+    let slabs: Vec<(u64, SutProfile)> = scale_factors
+        .iter()
+        .flat_map(|&sf| SutProfile::all().into_iter().map(move |p| (sf, p)))
+        .collect();
+    cloudybench::parallel::par_map(&slabs, jobs, |_, (sf, profile)| {
+        let mut dep = Deployment::new(profile.clone(), *sf, sim_scale, 1, SEED);
+        let cells = mixes
+            .iter()
+            .map(|(_, mix)| {
+                concurrencies
+                    .iter()
+                    .map(|&con| oltp_cell(&mut dep, *mix, con, AccessDistribution::Uniform))
+                    .collect()
+            })
+            .collect();
+        OltpSlab {
+            profile: profile.clone(),
+            scale_factor: *sf,
+            cells,
+        }
+    })
+}
+
 /// The paper's three transaction-ratio modes.
 pub fn paper_mixes() -> [(&'static str, TxnMix); 3] {
     [
@@ -83,6 +134,28 @@ pub fn paper_mixes() -> [(&'static str, TxnMix); 3] {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn oltp_grid_is_deterministic_across_jobs() {
+        let mixes = [("RO", TxnMix::read_only())];
+        let cons = [10u32];
+        let seq = oltp_grid(&[1], 4000, &mixes, &cons, 1);
+        let par = oltp_grid(&[1], 4000, &mixes, &cons, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.profile.name, b.profile.name);
+            assert_eq!(a.scale_factor, b.scale_factor);
+            for (ra, rb) in a.cells.iter().zip(&b.cells) {
+                for (ca, cb) in ra.iter().zip(rb) {
+                    assert_eq!(ca.avg_tps.to_bits(), cb.avg_tps.to_bits());
+                    assert_eq!(
+                        ca.cost_per_min.total().to_bits(),
+                        cb.cost_per_min.total().to_bits()
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn oltp_cell_produces_sane_numbers() {

@@ -77,45 +77,74 @@ impl CampaignReport {
     }
 }
 
-/// Run `seeds` against `profile`. Every seed runs **twice**: once for the
-/// state oracles and once more to check the determinism oracle — the second
-/// run must produce byte-identical cb-obs artifacts. Any violation is
-/// shrunk to a minimal reproducer before being reported.
+/// Run `seeds` against `profile` sequentially. Every seed runs **twice**:
+/// once for the state oracles and once more to check the determinism
+/// oracle — the second run must produce byte-identical cb-obs artifacts.
+/// Any violation is shrunk to a minimal reproducer before being reported.
 pub fn run_campaign(profile: &SutProfile, seeds: &[u64], opts: &ChaosOptions) -> CampaignReport {
+    run_campaign_jobs(profile, seeds, opts, 1)
+}
+
+/// [`run_campaign`] fanned across `jobs` worker threads. Seeds are fully
+/// independent — each gets its own deployment, RNGs, and `ObsSink` — so
+/// the only shared state is the work queue; results are merged back in
+/// canonical seed order, making the report (and every artifact inside it)
+/// byte-identical to a `jobs = 1` run.
+pub fn run_campaign_jobs(
+    profile: &SutProfile,
+    seeds: &[u64],
+    opts: &ChaosOptions,
+    jobs: usize,
+) -> CampaignReport {
+    let outcomes =
+        cloudybench::parallel::par_map(seeds, jobs, |_, &seed| run_one_seed(profile, seed, opts));
     let mut report = CampaignReport::default();
-    for &seed in seeds {
-        let schedule = FaultSchedule::generate(seed, opts.txns);
-        match run_with_schedule(profile, seed, &schedule, opts) {
-            Err(v) => {
-                let (minimal, witness) = shrink(&schedule, v.clone(), |candidate| {
-                    run_with_schedule(profile, seed, candidate, opts).err()
-                });
-                report.violations.push(ShrunkViolation {
-                    violation: v,
-                    minimal,
-                    minimal_witness: witness,
-                });
-            }
-            Ok(first) => {
-                if let Some(v) = determinism_violation(profile, seed, &schedule, opts, &first) {
-                    let (minimal, witness) = shrink(&schedule, v.clone(), |candidate| {
-                        match run_with_schedule(profile, seed, candidate, opts) {
-                            Err(e) => Some(e),
-                            Ok(run) => determinism_violation(profile, seed, candidate, opts, &run),
-                        }
-                    });
-                    report.violations.push(ShrunkViolation {
-                        violation: v,
-                        minimal,
-                        minimal_witness: witness,
-                    });
-                } else {
-                    report.reports.push(first);
-                }
-            }
+    for outcome in outcomes {
+        match outcome {
+            Ok(clean) => report.reports.push(clean),
+            Err(shrunk) => report.violations.push(*shrunk),
         }
     }
     report
+}
+
+/// The full per-seed pipeline: state oracles, determinism oracle, and (on
+/// violation) ddmin shrinking — everything that can run off-thread.
+fn run_one_seed(
+    profile: &SutProfile,
+    seed: u64,
+    opts: &ChaosOptions,
+) -> Result<SeedReport, Box<ShrunkViolation>> {
+    let schedule = FaultSchedule::generate(seed, opts.txns);
+    match run_with_schedule(profile, seed, &schedule, opts) {
+        Err(v) => {
+            let (minimal, witness) = shrink(&schedule, v.clone(), |candidate| {
+                run_with_schedule(profile, seed, candidate, opts).err()
+            });
+            Err(Box::new(ShrunkViolation {
+                violation: v,
+                minimal,
+                minimal_witness: witness,
+            }))
+        }
+        Ok(first) => {
+            if let Some(v) = determinism_violation(profile, seed, &schedule, opts, &first) {
+                let (minimal, witness) = shrink(&schedule, v.clone(), |candidate| {
+                    match run_with_schedule(profile, seed, candidate, opts) {
+                        Err(e) => Some(e),
+                        Ok(run) => determinism_violation(profile, seed, candidate, opts, &run),
+                    }
+                });
+                Err(Box::new(ShrunkViolation {
+                    violation: v,
+                    minimal,
+                    minimal_witness: witness,
+                }))
+            } else {
+                Ok(first)
+            }
+        }
+    }
 }
 
 /// Re-run `schedule` and compare its artifacts byte-for-byte against

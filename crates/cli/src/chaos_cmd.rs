@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use cb_chaos::{run_campaign, run_seed, ChaosOptions, FaultSchedule, ShrunkViolation};
+use cb_chaos::{run_campaign_jobs, run_seed, ChaosOptions, FaultSchedule, ShrunkViolation};
 use cb_sut::SutProfile;
 
 /// Parsed `chaos` subcommand arguments.
@@ -19,6 +19,7 @@ struct ChaosArgs {
     replay: Option<u64>,
     bug_skip_redo: Option<usize>,
     txns: u64,
+    jobs: usize,
     out: Option<PathBuf>,
 }
 
@@ -26,12 +27,14 @@ fn chaos_usage() -> String {
     let names: Vec<&str> = SutProfile::all().iter().map(|p| p.name).collect();
     format!(
         "usage: cloudybench chaos [--seeds N] [--profile NAME] [--replay SEED]\n\
-         \x20                        [--txns N] [--bug-skip-redo N] [--out DIR]\n\
+         \x20                        [--txns N] [--jobs N] [--bug-skip-redo N] [--out DIR]\n\
          \n\
          --seeds N          seeds 0..N per profile (default 20)\n\
          --profile NAME     limit to one profile ({})\n\
          --replay SEED      re-run one seed, printing its fault schedule\n\
          --txns N           workload transactions per seed (default 60)\n\
+         --jobs N           worker threads per campaign (default: available\n\
+         \x20                  parallelism; reports are byte-identical to --jobs 1)\n\
          --bug-skip-redo N  self-test: skip the N-th committed redo record\n\
          --out DIR          write failure reproducers (and replay artifacts) to DIR",
         names.join("|")
@@ -45,6 +48,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ChaosArgs, String> {
         replay: None,
         bug_skip_redo: None,
         txns: 60,
+        jobs: cloudybench::parallel::default_jobs(),
         out: None,
     };
     let mut args = args.peekable();
@@ -83,6 +87,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ChaosArgs, String> {
                 parsed.txns = value("--txns")?
                     .parse()
                     .map_err(|e| format!("--txns: {e}"))?
+            }
+            "--jobs" => {
+                parsed.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1)
             }
             "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
             "--help" | "-h" => return Err(chaos_usage()),
@@ -131,7 +141,7 @@ pub fn chaos_main(args: impl Iterator<Item = String>) -> u8 {
     let mut total_ok = 0usize;
     let mut total_bad = 0usize;
     for profile in &parsed.profiles {
-        let report = run_campaign(profile, &seeds, &opts);
+        let report = run_campaign_jobs(profile, &seeds, &opts, parsed.jobs);
         let crashes: u64 = report.reports.iter().map(|r| r.crashes).sum();
         let faults: u64 = report.reports.iter().map(|r| r.faults).sum();
         println!(

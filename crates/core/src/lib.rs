@@ -18,6 +18,8 @@
 //! * [`microservices`] — the inventory + manufacturing extension services
 //!   (the paper's Fig 2 future work), installed through the statement
 //!   registry exactly as the extensibility story prescribes.
+//! * [`parallel`] — deterministic scoped-thread fan-out of independent
+//!   experiment cells (grids, chaos seeds) with canonical-order merging.
 //! * [`collector`] — CSV export of recorded series (figures as data).
 //! * [`config`] — the props-file configuration format.
 //! * [`report`] — ASCII tables for the bench harness.
@@ -34,6 +36,7 @@ pub mod failover_eval;
 pub mod lagtime;
 pub mod metrics;
 pub mod microservices;
+pub mod parallel;
 pub mod report;
 pub mod schema;
 pub mod tenancy;

@@ -1,0 +1,162 @@
+//! Deterministic parallel execution of independent experiment cells.
+//!
+//! The paper's evaluation grids — Fig 5's 5 SUTs x 3 scale factors x 3
+//! mixes x 4 concurrencies, the chaos campaign's seeds-per-profile matrix —
+//! are embarrassingly parallel: every cell owns its seed, its deployment,
+//! and its `ObsSink`, and no simulated state crosses cell boundaries. This
+//! module fans such cells across a scoped-thread worker pool while keeping
+//! the *results* byte-identical to a sequential run: workers claim cell
+//! indices from a shared atomic counter (work stealing, so wall clock
+//! tracks the slowest cells, not the unluckiest static partition), but
+//! every result is written into its cell's canonical slot and returned in
+//! canonical cell order. Merging per-cell artifacts in that fixed order —
+//! e.g. folding `cb_obs::LogHistogram`s, which are order-insensitive
+//! bucket sums — therefore reproduces the single-threaded output exactly.
+//!
+//! Scheduling is intentionally *not* part of the determinism argument:
+//! which worker runs which cell, and in what real-time order, varies run to
+//! run. Determinism comes from (a) cells sharing no mutable state and
+//! (b) canonical-order merging. See DESIGN.md §11.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on `jobs` scoped worker threads, returning results
+/// in input (canonical) order. `f` receives `(index, &item)` so cells can
+/// derive per-cell seeds from their canonical position.
+///
+/// With `jobs <= 1` (or a single item) everything runs inline on the
+/// calling thread — the sequential and parallel paths execute the exact
+/// same per-cell code.
+///
+/// Panics in `f` are propagated to the caller after all workers stop
+/// claiming new cells.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = jobs.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slot_ptr = SlotWriter::new(&mut slots);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            let slot_ptr = &slot_ptr;
+            handles.push(scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    return;
+                }
+                let r = f(i, &items[i]);
+                // SAFETY: index i is claimed by exactly one worker (the
+                // fetch_add hands out each index once), so this slot is
+                // written by exactly one thread with no concurrent reader
+                // until the scope joins.
+                unsafe { slot_ptr.write(i, r) };
+            }));
+        }
+        for h in handles {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell index was claimed and written"))
+        .collect()
+}
+
+/// A shareable raw pointer into the result slots. Wrapping it in a struct
+/// lets us implement `Sync` for exactly this disjoint-index write pattern.
+struct SlotWriter<R> {
+    base: *mut Option<R>,
+}
+
+impl<R> SlotWriter<R> {
+    fn new(slots: &mut [Option<R>]) -> Self {
+        SlotWriter {
+            base: slots.as_mut_ptr(),
+        }
+    }
+
+    /// Write `value` into slot `i`.
+    ///
+    /// # Safety
+    /// Each index must be written by at most one thread, with no concurrent
+    /// access to the same slot, and `i` must be in bounds of the slice the
+    /// writer was created from.
+    unsafe fn write(&self, i: usize, value: R) {
+        unsafe { *self.base.add(i) = Some(value) };
+    }
+}
+
+// SAFETY: workers write disjoint slots (each index handed out once by the
+// atomic counter) and the owning scope outlives all workers.
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+unsafe impl<R: Send> Send for SlotWriter<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_canonical_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = par_map(&items, 1, |i, v| (i, v * 3));
+        let par = par_map(&items, 8, |i, v| (i, v * 3));
+        assert_eq!(seq, par);
+        assert!(par.iter().enumerate().all(|(i, (j, _))| i == *j));
+    }
+
+    #[test]
+    fn handles_fewer_items_than_workers() {
+        let items = [10u32, 20];
+        assert_eq!(par_map(&items, 16, |_, v| v + 1), vec![11, 21]);
+        let empty: [u32; 0] = [];
+        assert_eq!(par_map(&empty, 4, |_, v| v + 1), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, 4, |i, v| i == *v);
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            par_map(&items, 4, |_, v| {
+                if *v == 33 {
+                    panic!("boom");
+                }
+                *v
+            })
+        });
+        assert!(r.is_err());
+    }
+}

@@ -13,7 +13,7 @@
 
 use cb_store::{PageBuf, PageId, PageStore};
 
-use crate::slotted::Slotted;
+use crate::slotted::{Slotted, SlottedRef};
 
 const TYPE_LEAF: u8 = 0;
 const TYPE_INTERNAL: u8 = 1;
@@ -156,21 +156,21 @@ impl BTree {
         }
     }
 
-    /// Look up `key`, returning its payload.
-    pub fn get(&self, store: &PageStore, key: i64, log: &mut AccessLog) -> Option<Vec<u8>> {
+    /// Look up `key`, returning its payload borrowed straight from the
+    /// store's page — no page clone, no payload copy. Callers that need
+    /// owned bytes (WAL images, caches) copy at their own boundary.
+    pub fn get<'s>(&self, store: &'s PageStore, key: i64, log: &mut AccessLog) -> Option<&'s [u8]> {
         let d = self.descend(store, key, log);
-        let page = store.read(d.leaf);
-        let mut tmp = page.clone();
-        let s = Slotted::new(&mut tmp, ENTRIES_BASE);
-        s.find(key).ok().map(|i| s.payload_at(i).to_vec())
+        let s = SlottedRef::new(store.read(d.leaf), ENTRIES_BASE);
+        s.find(key).ok().map(|i| s.payload_at(i))
     }
 
-    /// True if `key` exists (cheaper than [`BTree::get`] — no payload copy).
+    /// True if `key` exists (no payload access at all).
     pub fn contains(&self, store: &PageStore, key: i64, log: &mut AccessLog) -> bool {
         let d = self.descend(store, key, log);
-        let page = store.read(d.leaf);
-        let mut tmp = page.clone();
-        Slotted::new(&mut tmp, ENTRIES_BASE).find(key).is_ok()
+        SlottedRef::new(store.read(d.leaf), ENTRIES_BASE)
+            .find(key)
+            .is_ok()
     }
 
     /// Insert `key -> payload`. Splits as needed.
@@ -274,25 +274,24 @@ impl BTree {
         }
         let d = self.descend(store, lo, log);
         let mut leaf_id = d.leaf;
+        let mut first = true;
         while leaf_id.is_valid() {
             let page = store.read(leaf_id);
-            if leaf_id != d.leaf {
+            if !first {
                 log.push((leaf_id, false));
             }
-            let mut tmp = page.clone();
-            let s = Slotted::new(&mut tmp, ENTRIES_BASE);
-            let start = match s.find(lo) {
-                Ok(i) => i,
-                Err(i) => i,
+            let s = SlottedRef::new(page, ENTRIES_BASE);
+            // Only the first leaf can hold keys below `lo`; every later
+            // leaf in the chain sits entirely above it, so the binary
+            // search is skipped there.
+            let start = if first {
+                s.find(lo).unwrap_or_else(|i| i)
+            } else {
+                0
             };
-            for i in start..s.len() {
-                let k = s.key_at(i);
-                if k > hi {
-                    return;
-                }
-                if !f(k, s.payload_at(i)) {
-                    return;
-                }
+            first = false;
+            if !s.for_each_from(start, |k, p| k <= hi && f(k, p)) {
+                return;
             }
             leaf_id = leaf_next(page);
         }
@@ -317,8 +316,7 @@ impl BTree {
             let page = store.read(page_id);
             log.push((page_id, false));
             if is_leaf(page) {
-                let mut tmp = page.clone();
-                let s = Slotted::new(&mut tmp, ENTRIES_BASE);
+                let s = SlottedRef::new(page, ENTRIES_BASE);
                 if !s.is_empty() {
                     best = Some(s.key_at(s.len() - 1));
                 }
@@ -360,18 +358,18 @@ impl BTree {
         log: &mut AccessLog,
     ) -> (i64, PageId) {
         let right_id = store.allocate();
-        // Split contents via a scratch copy to sidestep double-borrow.
-        let mut left_copy = store.read(leaf).clone();
+        // The new right sibling is built locally, so the left page can be
+        // split in place — no scratch copy of the 8 KB page.
         let mut right_page = PageBuf::zeroed();
         init_leaf(&mut right_page);
+        let left_page = store.write(leaf);
         let sep = {
-            let mut left_s = Slotted::new(&mut left_copy, ENTRIES_BASE);
+            let mut left_s = Slotted::new(&mut *left_page, ENTRIES_BASE);
             let mut right_s = Slotted::new(&mut right_page, ENTRIES_BASE);
             left_s.split_into(&mut right_s)
         };
-        set_leaf_next(&mut right_page, leaf_next(&left_copy));
-        set_leaf_next(&mut left_copy, right_id);
-        *store.write(leaf) = left_copy;
+        set_leaf_next(&mut right_page, leaf_next(left_page));
+        set_leaf_next(left_page, right_id);
         *store.write(right_id) = right_page;
         log.push((leaf, true));
         log.push((right_id, true));
@@ -480,7 +478,7 @@ mod tests {
         assert!(tree.height(&store) >= 2, "tree should have split");
         let mut log = AccessLog::new();
         for k in [0, 1, n / 2, n - 1] {
-            assert_eq!(tree.get(&store, k, &mut log), Some(payload(k)));
+            assert_eq!(tree.get(&store, k, &mut log), Some(payload(k).as_slice()));
         }
         assert_eq!(tree.get(&store, n, &mut log), None);
         assert_eq!(tree.count(&store, &mut log), n as u64);
@@ -493,7 +491,7 @@ mod tests {
         let (store, tree) = build((0..5000).rev());
         assert_eq!(tree.count(&store, &mut log), 5000);
         for k in [0i64, 4999, 2500] {
-            assert_eq!(tree.get(&store, k, &mut log), Some(payload(k)));
+            assert_eq!(tree.get(&store, k, &mut log), Some(payload(k).as_slice()));
         }
         // Strided order exercises mid-page inserts.
         let keys: Vec<i64> = (0..5000)
@@ -513,7 +511,7 @@ mod tests {
             tree.insert(&mut store, 2, b"x", &mut log),
             Err(DuplicateKey(2))
         );
-        assert_eq!(tree.get(&store, 2, &mut log), Some(payload(2)));
+        assert_eq!(tree.get(&store, 2, &mut log), Some(payload(2).as_slice()));
     }
 
     #[test]
@@ -521,7 +519,10 @@ mod tests {
         let (mut store, mut tree) = build(0..100);
         let mut log = AccessLog::new();
         assert!(tree.update(&mut store, 50, b"new-value", &mut log));
-        assert_eq!(tree.get(&store, 50, &mut log), Some(b"new-value".to_vec()));
+        assert_eq!(
+            tree.get(&store, 50, &mut log),
+            Some(b"new-value".as_slice())
+        );
         assert!(!tree.update(&mut store, 1000, b"nope", &mut log));
     }
 
@@ -538,7 +539,7 @@ mod tests {
         }
         let grown = vec![9u8; 900];
         assert!(tree.update(&mut store, 250, &grown, &mut log));
-        assert_eq!(tree.get(&store, 250, &mut log), Some(grown));
+        assert_eq!(tree.get(&store, 250, &mut log), Some(grown.as_slice()));
         assert_eq!(tree.count(&store, &mut log), 500);
     }
 
@@ -639,7 +640,10 @@ mod tests {
                     assert_eq!(r, model.remove(&key));
                 }
                 _ => {
-                    assert_eq!(tree.get(&store, key, &mut log), model.get(&key).cloned());
+                    assert_eq!(
+                        tree.get(&store, key, &mut log),
+                        model.get(&key).map(Vec::as_slice)
+                    );
                 }
             }
         }

@@ -322,7 +322,7 @@ impl Database {
         let mut rows = Vec::with_capacity(pks.len());
         for pk in pks {
             if let Some(img) = t.tree.get(&self.pages, pk, &mut alog) {
-                rows.push(Row::decode(&img));
+                rows.push(Row::decode(img));
             }
         }
         Self::charge_access_log(ctx, &alog);
@@ -358,12 +358,18 @@ impl Database {
     pub fn load_bulk(&mut self, table: TableId, rows: impl IntoIterator<Item = Row>) -> u64 {
         let mut log = AccessLog::new();
         let mut n = 0u64;
+        // One scratch image buffer for the whole load: dataset generation
+        // encodes millions of rows, and this loop is its only allocation-free
+        // path (Value::encode_into appends; no per-row Vec).
+        let mut image = Vec::new();
         for row in rows {
             let t = &mut self.tables[table.0 as usize];
             t.schema.validate(&row).expect("bulk rows must fit schema");
             let key = row.key();
+            image.clear();
+            row.encode_into(&mut image);
             t.tree
-                .insert(&mut self.pages, key, &row.encode(), &mut log)
+                .insert(&mut self.pages, key, &image, &mut log)
                 .expect("bulk load keys must be unique");
             Self::index_add(&mut self.pages, t, &row, key, &mut log);
             t.rows += 1;
@@ -446,7 +452,7 @@ impl Database {
         Self::charge_access_log(ctx, &alog);
         image.map(|img| {
             ctx.charge_rows(1);
-            Row::decode(&img)
+            Row::decode(img)
         })
     }
 
@@ -464,7 +470,9 @@ impl Database {
         let t = &mut self.tables[table.0 as usize];
         let mut alog = AccessLog::new();
         ctx.charge_stmt();
-        let Some(before_img) = t.tree.get(&self.pages, key, &mut alog) else {
+        // The WAL before-image must outlive the page mutation below, so this
+        // is a genuine ownership boundary: copy the borrowed payload once.
+        let Some(before_img) = t.tree.get(&self.pages, key, &mut alog).map(<[u8]>::to_vec) else {
             Self::charge_access_log(ctx, &alog);
             return Ok(false);
         };
@@ -689,16 +697,19 @@ impl Database {
         alog: &mut AccessLog,
     ) {
         let t = &mut self.tables[table.0 as usize];
-        let before = t
-            .tree
-            .get(&self.pages, key, alog)
-            .unwrap_or_else(|| panic!("redo update of missing key {key}"));
+        // Decode the before-row up front: the borrowed image must be
+        // released before the tree mutates the page it lives in.
+        let before_row = Row::decode(
+            t.tree
+                .get(&self.pages, key, alog)
+                .unwrap_or_else(|| panic!("redo update of missing key {key}")),
+        );
         let ok = t.tree.update(&mut self.pages, key, image, alog);
         assert!(ok, "redo update of missing key {key}");
         Self::index_transition(
             &mut self.pages,
             t,
-            &Row::decode(&before),
+            &before_row,
             &Row::decode(image),
             key,
             alog,

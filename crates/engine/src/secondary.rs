@@ -60,14 +60,15 @@ impl SecondaryIndex {
 
     /// Register `pk` under `value`.
     pub fn add(&mut self, store: &mut PageStore, value: i64, pk: i64, alog: &mut AccessLog) {
-        match self.tree.get(store, value, alog) {
+        // Decode the posting list to owned keys first: the borrowed payload
+        // must be released before the tree (hence the store) is mutated.
+        match self.tree.get(store, value, alog).map(decode_pks) {
             None => {
                 self.tree
                     .insert(store, value, &encode_pks(&[pk]), alog)
                     .expect("value was absent");
             }
-            Some(payload) => {
-                let mut pks = decode_pks(&payload);
+            Some(mut pks) => {
                 match pks.binary_search(&pk) {
                     Ok(_) => panic!("duplicate (value {value}, pk {pk}) in secondary index"),
                     Err(pos) => pks.insert(pos, pk),
@@ -85,11 +86,11 @@ impl SecondaryIndex {
 
     /// Remove `pk` from `value`'s posting list.
     pub fn remove(&mut self, store: &mut PageStore, value: i64, pk: i64, alog: &mut AccessLog) {
-        let payload = self
-            .tree
-            .get(store, value, alog)
-            .unwrap_or_else(|| panic!("secondary index missing value {value}"));
-        let mut pks = decode_pks(&payload);
+        let mut pks = decode_pks(
+            self.tree
+                .get(store, value, alog)
+                .unwrap_or_else(|| panic!("secondary index missing value {value}")),
+        );
         let pos = pks
             .binary_search(&pk)
             .unwrap_or_else(|_| panic!("secondary index missing pk {pk} under {value}"));
@@ -106,7 +107,7 @@ impl SecondaryIndex {
     pub fn lookup(&self, store: &PageStore, value: i64, alog: &mut AccessLog) -> Vec<i64> {
         self.tree
             .get(store, value, alog)
-            .map(|p| decode_pks(&p))
+            .map(decode_pks)
             .unwrap_or_default()
     }
 

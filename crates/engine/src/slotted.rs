@@ -6,6 +6,13 @@
 //! classic slotted-page arrangement. Slots stay sorted by key so lookups are
 //! a binary search; deletes leave payload garbage that is compacted away
 //! when space is actually needed.
+//!
+//! Two views share the layout logic: [`SlottedRef`] is the read-only view
+//! over `&PageBuf` whose accessors return slices tied to the *page's*
+//! lifetime — this is what lets `BTree::get` hand back a payload borrowed
+//! straight from the buffer pool with zero copies. [`Slotted`] is the
+//! mutable view (insert/remove/update/split/compact) and delegates all of
+//! its reads to an internal `SlottedRef`.
 
 use cb_store::{PageBuf, PAGE_SIZE};
 
@@ -18,7 +25,17 @@ const HDR_FREE_PTR: usize = 2;
 const HDR_GARBAGE: usize = 4;
 const HDR_BYTES: usize = 6;
 
-/// A view of the slotted region of a page, rooted at byte offset `base`.
+/// A read-only view of the slotted region of a page, rooted at byte offset
+/// `base`. Payload slices borrow from the page itself (`&'a [u8]`), not
+/// from the view, so they outlive the view and can be returned up the read
+/// path without copying.
+#[derive(Clone, Copy)]
+pub struct SlottedRef<'a> {
+    page: &'a PageBuf,
+    base: usize,
+}
+
+/// A mutable view of the slotted region of a page, rooted at `base`.
 pub struct Slotted<'a> {
     page: &'a mut PageBuf,
     base: usize,
@@ -29,43 +46,18 @@ pub struct Slotted<'a> {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PageFull;
 
-impl<'a> Slotted<'a> {
-    /// View an already-initialized slotted region.
-    pub fn new(page: &'a mut PageBuf, base: usize) -> Self {
-        Slotted { page, base }
-    }
-
-    /// Initialize an empty slotted region at `base`.
-    pub fn init(page: &'a mut PageBuf, base: usize) -> Self {
-        let mut s = Slotted { page, base };
-        s.set_nslots(0);
-        s.set_free_ptr(PAGE_SIZE as u16);
-        s.set_garbage(0);
-        s
-    }
-
-    fn nslots_raw(&self) -> usize {
-        self.page.get_u16(self.base + HDR_NSLOTS) as usize
-    }
-
-    fn set_nslots(&mut self, n: usize) {
-        self.page.put_u16(self.base + HDR_NSLOTS, n as u16);
+impl<'a> SlottedRef<'a> {
+    /// View an already-initialized slotted region read-only.
+    pub fn new(page: &'a PageBuf, base: usize) -> Self {
+        SlottedRef { page, base }
     }
 
     fn free_ptr(&self) -> usize {
         self.page.get_u16(self.base + HDR_FREE_PTR) as usize
     }
 
-    fn set_free_ptr(&mut self, p: u16) {
-        self.page.put_u16(self.base + HDR_FREE_PTR, p);
-    }
-
     fn garbage(&self) -> usize {
         self.page.get_u16(self.base + HDR_GARBAGE) as usize
-    }
-
-    fn set_garbage(&mut self, g: usize) {
-        self.page.put_u16(self.base + HDR_GARBAGE, g as u16);
     }
 
     fn slot_off(&self, idx: usize) -> usize {
@@ -74,7 +66,7 @@ impl<'a> Slotted<'a> {
 
     /// Number of live records.
     pub fn len(&self) -> usize {
-        self.nslots_raw()
+        self.page.get_u16(self.base + HDR_NSLOTS) as usize
     }
 
     /// True if no records are present.
@@ -88,8 +80,8 @@ impl<'a> Slotted<'a> {
         self.page.get_i64(self.slot_off(idx))
     }
 
-    /// Payload of the record at `idx`.
-    pub fn payload_at(&self, idx: usize) -> &[u8] {
+    /// Payload of the record at `idx`, borrowed from the page.
+    pub fn payload_at(&self, idx: usize) -> &'a [u8] {
         debug_assert!(idx < self.len());
         let off = self.page.get_u16(self.slot_off(idx) + 8) as usize;
         let len = self.page.get_u16(self.slot_off(idx) + 10) as usize;
@@ -111,6 +103,26 @@ impl<'a> Slotted<'a> {
         Err(lo)
     }
 
+    /// Visit `(key, payload)` for records `start..len` in slot order,
+    /// stopping early when `f` returns `false`; returns `false` on early
+    /// stop. Walks the slot directory as one contiguous byte slice — the
+    /// scan path's hot loop, measurably faster than indexed `key_at` /
+    /// `payload_at` calls per record.
+    pub fn for_each_from(&self, start: usize, mut f: impl FnMut(i64, &'a [u8]) -> bool) -> bool {
+        let bytes = self.page.as_bytes();
+        let dir_start = self.base + HDR_BYTES + start * SLOT_BYTES;
+        let dir_end = self.base + HDR_BYTES + self.len() * SLOT_BYTES;
+        for slot in bytes[dir_start..dir_end].chunks_exact(SLOT_BYTES) {
+            let key = i64::from_le_bytes(slot[..8].try_into().expect("8-byte key"));
+            let off = u16::from_le_bytes(slot[8..10].try_into().expect("2-byte off")) as usize;
+            let len = u16::from_le_bytes(slot[10..12].try_into().expect("2-byte len")) as usize;
+            if !f(key, &bytes[off..off + len]) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Contiguous free bytes between the slot directory and the payload heap.
     pub fn contiguous_free(&self) -> usize {
         let dir_end = self.base + HDR_BYTES + self.len() * SLOT_BYTES;
@@ -120,6 +132,89 @@ impl<'a> Slotted<'a> {
     /// Free bytes recoverable by compaction.
     pub fn total_free(&self) -> usize {
         self.contiguous_free() + self.garbage()
+    }
+}
+
+impl<'a> Slotted<'a> {
+    /// View an already-initialized slotted region.
+    pub fn new(page: &'a mut PageBuf, base: usize) -> Self {
+        Slotted { page, base }
+    }
+
+    /// Initialize an empty slotted region at `base`.
+    pub fn init(page: &'a mut PageBuf, base: usize) -> Self {
+        let mut s = Slotted { page, base };
+        s.set_nslots(0);
+        s.set_free_ptr(PAGE_SIZE as u16);
+        s.set_garbage(0);
+        s
+    }
+
+    /// The read-only view of this region (reads share one implementation).
+    pub fn as_read(&self) -> SlottedRef<'_> {
+        SlottedRef {
+            page: self.page,
+            base: self.base,
+        }
+    }
+
+    fn set_nslots(&mut self, n: usize) {
+        self.page.put_u16(self.base + HDR_NSLOTS, n as u16);
+    }
+
+    fn free_ptr(&self) -> usize {
+        self.as_read().free_ptr()
+    }
+
+    fn set_free_ptr(&mut self, p: u16) {
+        self.page.put_u16(self.base + HDR_FREE_PTR, p);
+    }
+
+    fn garbage(&self) -> usize {
+        self.as_read().garbage()
+    }
+
+    fn set_garbage(&mut self, g: usize) {
+        self.page.put_u16(self.base + HDR_GARBAGE, g as u16);
+    }
+
+    fn slot_off(&self, idx: usize) -> usize {
+        self.base + HDR_BYTES + idx * SLOT_BYTES
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.as_read().len()
+    }
+
+    /// True if no records are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Key of the record at `idx`.
+    pub fn key_at(&self, idx: usize) -> i64 {
+        self.as_read().key_at(idx)
+    }
+
+    /// Payload of the record at `idx`.
+    pub fn payload_at(&self, idx: usize) -> &[u8] {
+        self.as_read().payload_at(idx)
+    }
+
+    /// Binary search: `Ok(idx)` if `key` exists, `Err(insert_pos)` otherwise.
+    pub fn find(&self, key: i64) -> Result<usize, usize> {
+        self.as_read().find(key)
+    }
+
+    /// Contiguous free bytes between the slot directory and the payload heap.
+    pub fn contiguous_free(&self) -> usize {
+        self.as_read().contiguous_free()
+    }
+
+    /// Free bytes recoverable by compaction.
+    pub fn total_free(&self) -> usize {
+        self.as_read().total_free()
     }
 
     /// Insert a record. `Err(PageFull)` if it cannot fit even after
@@ -195,6 +290,9 @@ impl<'a> Slotted<'a> {
 
     /// Move the upper half of the records into `dst` (an initialized, empty
     /// slotted region). Returns the first key now living in `dst`.
+    ///
+    /// Payloads are copied page-to-page directly; nothing is staged in a
+    /// heap buffer.
     pub fn split_into(&mut self, dst: &mut Slotted<'_>) -> i64 {
         let n = self.len();
         assert!(n >= 2, "cannot split a page with < 2 records");
@@ -202,8 +300,7 @@ impl<'a> Slotted<'a> {
         let mid = n / 2;
         for i in mid..n {
             let key = self.key_at(i);
-            let payload = self.payload_at(i).to_vec();
-            dst.insert(key, &payload)
+            dst.insert(key, self.as_read().payload_at(i))
                 .expect("fresh page cannot be full");
         }
         // Truncate: account dead payload bytes, then drop the slots.
@@ -216,20 +313,33 @@ impl<'a> Slotted<'a> {
         dst.key_at(0)
     }
 
-    /// Rewrite payloads contiguously, reclaiming garbage.
+    /// Rewrite payloads contiguously, reclaiming garbage — in place.
+    ///
+    /// Only `(slot, old offset, length)` triples are collected; each payload
+    /// is then moved with a single `copy_within`. Processing slots in
+    /// descending old-offset order guarantees every new offset is `>=` its
+    /// old offset (the records above it shrink the gap by at most the bytes
+    /// they occupy), so the possibly-overlapping copy is memmove-safe and
+    /// never clobbers a payload that has not moved yet.
     pub fn compact(&mut self) {
         let n = self.len();
-        let records: Vec<(i64, Vec<u8>)> = (0..n)
-            .map(|i| (self.key_at(i), self.payload_at(i).to_vec()))
+        let mut slots: Vec<(usize, usize, usize)> = (0..n)
+            .map(|i| {
+                let s = self.slot_off(i);
+                (
+                    i,
+                    self.page.get_u16(s + 8) as usize,
+                    self.page.get_u16(s + 10) as usize,
+                )
+            })
             .collect();
+        slots.sort_unstable_by_key(|s| std::cmp::Reverse(s.1));
         let mut free = PAGE_SIZE;
-        for (i, (key, payload)) in records.iter().enumerate() {
-            free -= payload.len();
-            self.page.put_slice(free, payload);
-            let slot = self.slot_off(i);
-            self.page.put_i64(slot, *key);
-            self.page.put_u16(slot + 8, free as u16);
-            self.page.put_u16(slot + 10, payload.len() as u16);
+        for (i, old, len) in slots {
+            free -= len;
+            debug_assert!(free >= old, "descending-offset order keeps dst above src");
+            self.page.as_bytes_mut().copy_within(old..old + len, free);
+            self.page.put_u16(self.slot_off(i) + 8, free as u16);
         }
         self.set_free_ptr(free as u16);
         self.set_garbage(0);
@@ -259,6 +369,34 @@ mod tests {
         assert_eq!(s.find(10), Ok(1));
         assert_eq!(s.find(11), Err(2));
         assert_eq!(s.payload_at(0), b"five");
+    }
+
+    #[test]
+    fn read_view_matches_mutable_view() {
+        let mut page = fresh();
+        let mut s = Slotted::init(&mut page, 16);
+        for k in 0..50 {
+            s.insert(k, format!("payload-{k}").as_bytes()).unwrap();
+        }
+        let r = SlottedRef::new(&page, 16);
+        assert_eq!(r.len(), 50);
+        assert!(!r.is_empty());
+        for k in 0..50usize {
+            assert_eq!(r.key_at(k), k as i64);
+            assert_eq!(r.payload_at(k), format!("payload-{k}").as_bytes());
+            assert_eq!(r.find(k as i64), Ok(k));
+        }
+        assert_eq!(r.find(50), Err(50));
+        // The borrowed payload outlives the view itself.
+        let p = { r.payload_at(7) };
+        assert_eq!(p, b"payload-7");
+        // Free-space accounting agrees between the two views.
+        let s2 = Slotted::new(&mut page, 16);
+        assert_eq!(
+            s2.contiguous_free(),
+            SlottedRef::new(s2.page, 16).contiguous_free()
+        );
+        assert_eq!(s2.total_free(), SlottedRef::new(s2.page, 16).total_free());
     }
 
     #[test]
@@ -330,6 +468,33 @@ mod tests {
         for i in 0..s.len() {
             assert_eq!(s.payload_at(i), &payload);
         }
+    }
+
+    #[test]
+    fn compaction_preserves_varied_payloads() {
+        // Distinct, variable-length payloads catch any compaction bug that
+        // the all-identical-payload test above would miss (e.g. clobbering
+        // a not-yet-moved record or mis-writing an offset).
+        let mut page = fresh();
+        let mut s = Slotted::init(&mut page, 16);
+        let body = |k: i64| -> Vec<u8> {
+            let mut v = format!("rec-{k}-").into_bytes();
+            v.extend(std::iter::repeat_n(k as u8, (k as usize * 7) % 90));
+            v
+        };
+        let mut n = 0i64;
+        while s.insert(n, &body(n)).is_ok() {
+            n += 1;
+        }
+        for i in (1..n as usize).rev().step_by(3) {
+            s.remove(i);
+        }
+        s.compact();
+        for i in 0..s.len() {
+            let k = s.key_at(i);
+            assert_eq!(s.payload_at(i), body(k).as_slice(), "key {k}");
+        }
+        assert_eq!(s.total_free(), s.contiguous_free());
     }
 
     #[test]

@@ -69,6 +69,28 @@ impl Value {
             other => panic!("expected Timestamp, found {other:?}"),
         }
     }
+
+    /// Append this value's tagged serialization to `out`. The write path
+    /// encodes whole rows through one caller-owned scratch buffer, so hot
+    /// loops pay zero allocations per value.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(x) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Text(s) => {
+                assert!(s.len() <= u16::MAX as usize, "text too long");
+                out.push(TAG_TEXT);
+                out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Timestamp(x) => {
+                out.push(TAG_TS);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -224,26 +246,17 @@ impl Row {
     /// Serialize to a compact, self-describing byte image.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(8 + self.values.len() * 9);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the serialized image to `out`; callers reuse one scratch
+    /// buffer across rows and clear it between encodes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(self.values.len() as u8);
         for v in &self.values {
-            match v {
-                Value::Int(x) => {
-                    out.push(TAG_INT);
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
-                Value::Text(s) => {
-                    assert!(s.len() <= u16::MAX as usize, "text too long");
-                    out.push(TAG_TEXT);
-                    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
-                    out.extend_from_slice(s.as_bytes());
-                }
-                Value::Timestamp(x) => {
-                    out.push(TAG_TS);
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
-            }
+            v.encode_into(out);
         }
-        out
     }
 
     /// Decode an image produced by [`Row::encode`]. Panics on corruption —
@@ -301,6 +314,19 @@ mod tests {
     fn encode_decode_round_trip() {
         let row = sample_row();
         assert_eq!(Row::decode(&row.encode()), row);
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let row = sample_row();
+        let mut buf = b"prefix".to_vec();
+        row.encode_into(&mut buf);
+        assert_eq!(&buf[..6], b"prefix");
+        assert_eq!(&buf[6..], row.encode().as_slice());
+        // Reuse pattern: clear + re-encode yields the same image.
+        buf.clear();
+        row.encode_into(&mut buf);
+        assert_eq!(buf, row.encode());
     }
 
     #[test]

@@ -17,6 +17,7 @@ enum Op {
     Update(i64, Vec<u8>),
     Delete(i64),
     Get(i64),
+    Scan(i64, i64),
 }
 
 fn op_strategy(key_space: i64) -> impl Strategy<Value = Op> {
@@ -26,7 +27,8 @@ fn op_strategy(key_space: i64) -> impl Strategy<Value = Op> {
         (key.clone(), payload.clone()).prop_map(|(k, p)| Op::Insert(k, p)),
         (key.clone(), payload).prop_map(|(k, p)| Op::Update(k, p)),
         key.clone().prop_map(Op::Delete),
-        key.prop_map(Op::Get),
+        key.clone().prop_map(Op::Get),
+        (key, 0i64..60).prop_map(|(lo, span)| Op::Scan(lo, span)),
     ]
 }
 
@@ -62,7 +64,22 @@ proptest! {
                     prop_assert_eq!(r, model.remove(&k));
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(tree.get(&store, k, &mut alog), model.get(&k).cloned());
+                    // The borrowed read path must return byte-identical
+                    // payloads straight off the page — compared as slices,
+                    // no copy on either side.
+                    prop_assert_eq!(tree.get(&store, k, &mut alog), model.get(&k).map(Vec::as_slice));
+                    prop_assert_eq!(tree.contains(&store, k, &mut alog), model.contains_key(&k));
+                }
+                Op::Scan(lo, span) => {
+                    let hi = lo + span;
+                    let mut got: Vec<(i64, Vec<u8>)> = Vec::new();
+                    tree.scan_range(&store, lo, hi, &mut alog, |k, p| {
+                        got.push((k, p.to_vec()));
+                        true
+                    });
+                    let want: Vec<(i64, Vec<u8>)> =
+                        model.range(lo..=hi).map(|(k, v)| (*k, v.clone())).collect();
+                    prop_assert_eq!(got, want);
                 }
             }
             alog.clear();
@@ -73,6 +90,48 @@ proptest! {
             true
         });
         prop_assert_eq!(scanned, model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Secondary-index maintenance agrees with a model of posting sets:
+    /// lookups return exactly the model's primary keys, ascending, through
+    /// the borrowed tree read path.
+    #[test]
+    fn secondary_index_matches_model(
+        ops in prop::collection::vec((0i64..40, 0i64..200, prop::bool::ANY), 1..300),
+    ) {
+        use cb_engine::secondary::SecondaryIndex;
+        use std::collections::BTreeSet;
+        let mut store = PageStore::new();
+        let mut idx = SecondaryIndex::create(&mut store, 1);
+        let mut model: BTreeMap<i64, BTreeSet<i64>> = BTreeMap::new();
+        let mut alog = AccessLog::new();
+        for (value, pk, remove) in ops {
+            let present = model.get(&value).is_some_and(|s| s.contains(&pk));
+            if remove {
+                if present {
+                    idx.remove(&mut store, value, pk, &mut alog);
+                    let set = model.get_mut(&value).expect("present implies entry");
+                    set.remove(&pk);
+                    if set.is_empty() { model.remove(&value); }
+                }
+            } else if !present {
+                idx.add(&mut store, value, pk, &mut alog);
+                model.entry(value).or_default().insert(pk);
+            }
+            prop_assert_eq!(
+                idx.lookup(&store, value, &mut alog),
+                model.get(&value).map(|s| s.iter().copied().collect::<Vec<_>>()).unwrap_or_default()
+            );
+            alog.clear();
+        }
+        for (value, set) in &model {
+            prop_assert_eq!(
+                idx.lookup(&store, *value, &mut alog),
+                set.iter().copied().collect::<Vec<_>>()
+            );
+        }
+        prop_assert_eq!(idx.distinct_values(&store), model.len() as u64);
+        prop_assert_eq!(idx.lookup(&store, 1_000_000, &mut alog), Vec::<i64>::new());
     }
 
     /// Slotted pages keep keys sorted and payloads intact under churn.

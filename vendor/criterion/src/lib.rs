@@ -74,6 +74,27 @@ impl Bencher {
         }
         let per = self.total.as_nanos() / u128::from(self.iters);
         println!("{id:<40} {per:>12} ns/iter ({} iters)", self.iters);
+        append_json_result(id, per);
+    }
+}
+
+/// When `CB_BENCH_JSON` names a file, append one JSON line per benchmark —
+/// `{"name":"...","median_ns":N}` — so harness scripts (the bench-smoke CI
+/// job, the BENCH_engine.json trajectory) can consume results without
+/// scraping stdout.
+fn append_json_result(id: &str, median_ns: u128) {
+    let Ok(path) = std::env::var("CB_BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    let line = format!("{{\"name\":\"{id}\",\"median_ns\":{median_ns}}}\n");
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("criterion: cannot append to {path}: {e}");
     }
 }
 
