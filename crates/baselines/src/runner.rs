@@ -64,7 +64,7 @@ pub fn run_constant(
     let horizon = SimTime::ZERO + duration;
     let mut clients: Vec<SimTime> = vec![SimTime::ZERO; threads as usize];
     let mut client_rngs: Vec<DetRng> = (0..threads).map(|i| rng.fork(u64::from(i))).collect();
-    let mut tps = TpsRecorder::per_second();
+    let mut tps = TpsRecorder::with_horizon(SimDuration::from_secs(1), duration);
 
     // Autoscaler state.
     let mut next_sample = SimTime::ZERO + policy.sample_interval();

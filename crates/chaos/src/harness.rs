@@ -11,8 +11,15 @@
 //!
 //! * **replay-from-storage**: `base_database()` + `redo_committed(archive)`,
 //!   the CDB1–3 route (also "restore backup and roll forward"), and
-//! * **in-place ARIES undo**: `undo_losers` over the crash epoch's log tail
-//!   applied to the crashed image, the RDS/CDB4 route.
+//! * **in-place ARIES undo**: `undo_losers_durable` over the crash epoch's
+//!   log tail applied to the crashed image, the RDS/CDB4 route.
+//!
+//! Commit acknowledgements are *deferred*: a write commit enqueues into the
+//! profile's group-commit pipeline and its shadow effects apply only when
+//! the batch flush lands. A crash inside an open batch therefore splits the
+//! pending commits on the durable head — records that reached storage are
+//! promoted (recovery replays them), the rest legally vanish (no ack was
+//! ever sent).
 //!
 //! Both recovered states must equal the shadow. Divergences are classified
 //! by direction (durability / atomicity / equivalence) in [`ShadowDiff`].
@@ -21,7 +28,7 @@
 
 use cb_cluster::{plan_failover_with_detection, HeartbeatMonitor, NodeHealth};
 use cb_engine::exec::RemoteTier;
-use cb_engine::recovery::{analyze, redo_committed, undo_losers};
+use cb_engine::recovery::{analyze, redo_committed, undo_losers_durable};
 use cb_engine::{ExecCtx, Row, Value};
 use cb_obs::{
     ascii_timeline, chrome_trace_json, histogram_csv, histogram_summary_json, Category, ObsSink,
@@ -44,6 +51,14 @@ pub struct ChaosOptions {
     /// Test-only bug injection: skip the n-th committed DML record during
     /// the replay recovery path. The equivalence oracle must catch it.
     pub bug_skip_redo: Option<usize>,
+    /// Test-only bug injection: acknowledge commits to the client the moment
+    /// they enqueue, before the group-commit batch flushes. A crash inside an
+    /// open batch then loses an acked commit — the durability oracle must
+    /// catch it.
+    pub bug_ack_unflushed: bool,
+    /// Override the profile's group-commit window (e.g. a huge window keeps
+    /// a batch open across many transactions so a crash lands inside it).
+    pub group_commit_window: Option<SimDuration>,
     /// Collect cb-obs artifacts (needed for the determinism oracle).
     pub collect_artifacts: bool,
 }
@@ -54,6 +69,8 @@ impl Default for ChaosOptions {
             txns: 60,
             sim_scale: 3000,
             bug_skip_redo: None,
+            bug_ack_unflushed: false,
+            group_commit_window: None,
             collect_artifacts: true,
         }
     }
@@ -87,6 +104,12 @@ pub struct SeedReport {
     pub crashes: u64,
     /// All faults injected.
     pub faults: u64,
+    /// Commits that were awaiting a group-commit ack at a crash but whose
+    /// batch had already reached durable storage — promoted to committed.
+    pub gc_promoted: u64,
+    /// Commits that were awaiting a group-commit ack at a crash and whose
+    /// batch was lost — legally vanished (never acknowledged).
+    pub gc_dropped: u64,
     /// Exported artifacts, if collection was on.
     pub artifacts: Option<Artifacts>,
 }
@@ -139,6 +162,17 @@ pub fn run_with_schedule(
     h.run()
 }
 
+/// A commit that has enqueued into the group-commit pipeline but whose
+/// batch has not yet flushed: the client is still waiting for the ack.
+struct PendingCommit {
+    /// Virtual time the batch flush completes and the ack is sent.
+    ack_at: SimTime,
+    /// LSN of the commit record.
+    commit_lsn: Lsn,
+    /// The transaction's shadow effects, applied only at ack.
+    ops: Vec<ShadowOp>,
+}
+
 struct Harness {
     dep: Deployment,
     shadow: ShadowModel,
@@ -146,6 +180,10 @@ struct Harness {
     archive: Vec<WalRecord>,
     /// Durable (acknowledged) log head.
     acked: Lsn,
+    /// The primary's group-commit pipeline (window possibly overridden).
+    gc: cb_store::GroupCommit,
+    /// Commits enqueued but not yet acknowledged, FIFO by commit LSN.
+    pending: std::collections::VecDeque<PendingCommit>,
     now: SimTime,
     wl_rng: DetRng,
     fault_rng: DetRng,
@@ -158,6 +196,8 @@ struct Harness {
     aborted: u64,
     crashes: u64,
     faults: u64,
+    promoted: u64,
+    dropped: u64,
 }
 
 impl Harness {
@@ -172,11 +212,17 @@ impl Harness {
         } else {
             ObsSink::disabled()
         };
+        let mut gc_cfg = profile.group_commit;
+        if let Some(window) = opts.group_commit_window {
+            gc_cfg.window = window;
+        }
         Harness {
             dep,
             shadow,
             archive: Vec::new(),
             acked: Lsn::ZERO,
+            gc: cb_store::GroupCommit::new(gc_cfg),
+            pending: std::collections::VecDeque::new(),
             now: SimTime::from_secs(1),
             wl_rng,
             fault_rng,
@@ -189,6 +235,8 @@ impl Harness {
             aborted: 0,
             crashes: 0,
             faults: 0,
+            promoted: 0,
+            dropped: 0,
         }
     }
 
@@ -211,6 +259,49 @@ impl Harness {
             .extend(self.dep.db.log().records_after(last).iter().cloned());
     }
 
+    /// Like [`pull_archive`], but stop at `through`: the batch flush that
+    /// covers a commit makes everything *up to* its LSN durable, while later
+    /// records may still sit in an open batch.
+    fn pull_archive_through(&mut self, through: Lsn) {
+        let last = self.archive.last().map(|r| r.lsn).unwrap_or(Lsn::ZERO);
+        for r in self.dep.db.log().records_after(last) {
+            if r.lsn > through {
+                break;
+            }
+            self.archive.push(r.clone());
+        }
+    }
+
+    /// Deliver every group-commit ack that has matured by `upto`: the batch
+    /// flush landed, so the archive catches up through the commit record,
+    /// the durable head advances, and the client-visible shadow effects
+    /// apply. FIFO order is exact — batch completions are monotonic and
+    /// commit LSNs increase.
+    fn drain_acks(&mut self, upto: SimTime) {
+        while let Some(front) = self.pending.front() {
+            if front.ack_at > upto {
+                break;
+            }
+            let p = self.pending.pop_front().expect("front exists");
+            self.pull_archive_through(p.commit_lsn);
+            self.acked = self.acked.max(p.commit_lsn);
+            for op in p.ops {
+                self.shadow.apply(op);
+            }
+            self.obs.instant(Category::Wal, "chaos-ack", 0, p.ack_at);
+        }
+    }
+
+    /// Force the open batch to flush: advance virtual time to the last
+    /// pending ack and deliver everything. A checkpoint (which flushes the
+    /// WAL) and the end of a run both imply this.
+    fn flush_pending(&mut self) {
+        if let Some(back) = self.pending.back() {
+            self.now = self.now.max(back.ack_at);
+        }
+        self.drain_acks(self.now);
+    }
+
     fn run(&mut self) -> Result<SeedReport, Violation> {
         let events = self.schedule.events.clone();
         let mut next_event = 0usize;
@@ -222,6 +313,9 @@ impl Harness {
             self.exec_txn()?;
             self.maybe_checkpoint(i);
         }
+        // Drain the last open batch: every enqueued commit acks before the
+        // books close.
+        self.flush_pending();
         // Final equivalence gate: with every transaction finished, the live
         // database must equal the shadow exactly.
         let diff = self.shadow.diff(&self.dep.db);
@@ -241,6 +335,8 @@ impl Harness {
             aborted: self.aborted,
             crashes: self.crashes,
             faults: self.faults,
+            gc_promoted: self.promoted,
+            gc_dropped: self.dropped,
             artifacts,
         })
     }
@@ -251,6 +347,8 @@ impl Harness {
         if self.dep.profile.checkpoint_interval.is_none() || i == 0 || !i.is_multiple_of(25) {
             return;
         }
+        // A checkpoint flushes the WAL, which closes the open commit batch.
+        self.flush_pending();
         let start = self.now;
         let (lsn, _pages, io) =
             self.dep
@@ -268,6 +366,9 @@ impl Harness {
 
     /// One randomized T1–T4 transaction, mirrored into the shadow at ack.
     fn exec_txn(&mut self) -> Result<(), Violation> {
+        // Deliver any group-commit acks that matured while earlier
+        // transactions ran.
+        self.drain_acks(self.now);
         let orders_hi = self.dep.shape.orders as i64;
         let t_orders = self.dep.tables.orders;
         let t_customer = self.dep.tables.customer;
@@ -275,6 +376,7 @@ impl Harness {
         let now = self.now;
         let kind = self.wl_rng.pick_weighted(&[45.0, 43.0, 10.0, 2.0]);
         let abort_roll = self.wl_rng.chance(0.06);
+        let pre_enqueued = self.gc.commits();
         let remote = self
             .dep
             .remote_pool
@@ -286,7 +388,8 @@ impl Harness {
             remote,
             &mut self.dep.storage,
             &self.dep.profile.cost_model,
-        );
+        )
+        .with_group_commit(&mut self.gc);
         let db = &mut self.dep.db;
         let mut txn = db.begin();
         self.max_txn = self.max_txn.max(txn.id().0);
@@ -358,26 +461,52 @@ impl Harness {
                 "t4"
             }
         };
+        let mut commit_lsn = None;
         if abort_roll && !staged.is_empty() {
             db.abort(&mut ctx, txn);
             self.aborted += 1;
+            staged.clear();
             // Staged shadow ops are dropped: the abort undid everything.
         } else {
-            db.commit(&mut ctx, txn);
+            let c = db.commit(&mut ctx, txn);
             self.committed += 1;
+            commit_lsn = Some(c.lsn);
+        }
+        let latency = ctx.cpu + ctx.io;
+        drop(ctx);
+        // A durable (write) commit enqueued into the group-commit pipeline;
+        // its ack — and its client-visible effects — arrive only when the
+        // batch flushes. Read-only commits never enqueue and carry no ops.
+        let enqueued = self.gc.commits() > pre_enqueued;
+        let commit_wait = if enqueued {
+            if self.opts.bug_ack_unflushed {
+                // Injected bug: ack immediately, before the flush. The
+                // durability oracle must notice when a crash eats the batch.
+                for op in staged.drain(..) {
+                    self.shadow.apply(op);
+                }
+            } else {
+                self.pending.push_back(PendingCommit {
+                    ack_at: self.gc.last_ack(),
+                    commit_lsn: commit_lsn.expect("enqueued implies committed"),
+                    ops: std::mem::take(&mut staged),
+                });
+            }
+            self.gc.last_wait()
+        } else {
+            // Reads (and aborts) complete without a batch ack; their shadow
+            // effects (none for reads, none after an abort) apply now.
             for op in staged {
                 self.shadow.apply(op);
             }
-        }
-        // Acknowledgement: the log tail is flushed (group commit), so the
-        // storage tier's archive catches up and the durable head advances.
-        let latency = ctx.cpu + ctx.io;
-        drop(ctx);
-        self.pull_archive();
-        self.acked = self.dep.db.log().head();
+            SimDuration::ZERO
+        };
         self.obs.record("chaos.txn_ns", latency.as_nanos());
         self.obs.span(Category::Txn, name, 0, now, now + latency);
-        self.now = now + latency + SimDuration::from_micros(250);
+        // The *session* moves on as soon as the commit is enqueued — that is
+        // the whole point of group commit: the next transaction's writes can
+        // join the same open batch instead of waiting out the flush.
+        self.now = now + (latency - commit_wait) + SimDuration::from_micros(250);
         Ok(())
     }
 
@@ -396,6 +525,8 @@ impl Harness {
                 if after_record {
                     // The checkpoint record lands and is durable, but the
                     // crash preempts the log truncation that would follow.
+                    // Checkpointing flushes the WAL, closing the open batch.
+                    self.flush_pending();
                     let (_lsn, _pages, io) = self.dep.db.checkpoint(
                         &mut self.dep.nodes[0].pool,
                         &mut self.dep.storage,
@@ -448,6 +579,9 @@ impl Harness {
         detected_at: Option<SimTime>,
     ) -> Result<(), Violation> {
         self.crashes += 1;
+        // Acks that matured before the crash were delivered; anything still
+        // pending is caught inside the open batch.
+        self.drain_acks(self.now);
         let crash_at = self.now;
         // 1. Open loser transactions: DML that will be in flight at the
         //    crash. `mem::forget` models the process dying mid-transaction.
@@ -524,8 +658,25 @@ impl Harness {
             }
         };
         let durable_head = Lsn(self.acked.0 + survivors as u64);
-        // 4. Crash: volatile state (locks) dies with the node.
+        // 4. Crash: volatile state (locks, the open commit batch) dies with
+        //    the node. Pending commits split on the durable head: a commit
+        //    whose record reached durable storage survives even though its
+        //    ack never went out (recovery replays it — promote its effects
+        //    into the shadow); a commit whose batch was lost legally
+        //    vanishes (nobody was ever told it happened).
         self.dep.db.simulate_crash();
+        self.gc.crash_abort();
+        let (pre_promoted, pre_dropped) = (self.promoted, self.dropped);
+        while let Some(p) = self.pending.pop_front() {
+            if p.commit_lsn <= durable_head {
+                for op in p.ops {
+                    self.shadow.apply(op);
+                }
+                self.promoted += 1;
+            } else {
+                self.dropped += 1;
+            }
+        }
         self.obs.instant(Category::Failover, "crash", 0, crash_at);
         // 5. Replay oracle: restore the base snapshot and roll the durable
         //    archive forward. Only committed transactions replay.
@@ -536,9 +687,11 @@ impl Harness {
         let redone = redo_committed(&mut replayed, &redo_src);
         self.check_state(&replayed, "replay")?;
         // 6. In-place ARIES oracle: undo losers on the crashed image using
-        //    the full pre-crash tail. The database continues from this
-        //    repaired image (its log is consistent, unlike the replay's).
-        let undone = undo_losers(&mut self.dep.db, &tail);
+        //    the full pre-crash tail, honouring the durability horizon — a
+        //    commit record beyond it never flushed, so its transaction rolls
+        //    back. The database continues from this repaired image (its log
+        //    is consistent, unlike the replay's).
+        let undone = undo_losers_durable(&mut self.dep.db, &tail, survivors);
         self.check_state(&self.dep.db, "in-place-undo")?;
         debug_assert!(undone as usize <= tail.len());
         // 7. Reconcile the continuing log with what durable storage kept,
@@ -567,6 +720,9 @@ impl Harness {
         self.obs.add("chaos.crashes", 1);
         self.obs.add("chaos.redone", redone);
         self.obs.add("chaos.undone", undone);
+        self.obs
+            .add("chaos.gc.promoted", self.promoted - pre_promoted);
+        self.obs.add("chaos.gc.dropped", self.dropped - pre_dropped);
         let downtime = tl.downtime();
         self.dep.nodes[0].restart(crash_at, downtime, self.dep.profile.failover.warmup);
         self.now = tl.service_resumed_at.max(self.now) + SimDuration::from_millis(1);

@@ -5,6 +5,7 @@ use cb_chaos::{
     run_campaign, run_seed, run_with_schedule, shrink, ChaosOptions, FaultEvent, FaultKind,
     FaultSchedule,
 };
+use cb_sim::SimDuration;
 use cb_sut::SutProfile;
 
 fn quick_opts() -> ChaosOptions {
@@ -148,6 +149,97 @@ fn bugged_recovery_is_caught_and_shrunk() {
         witness.oracle,
         "durability" | "atomicity" | "recovery-equivalence"
     ));
+}
+
+/// A schedule with one crash landing while txns are still enqueueing, plus
+/// an opts override that keeps one group-commit batch open across the whole
+/// run — the crash is guaranteed to strike inside it.
+fn open_batch_crash(kind: FaultKind) -> (FaultSchedule, ChaosOptions) {
+    let schedule = FaultSchedule {
+        seed: 7,
+        events: vec![FaultEvent { at_txn: 20, kind }],
+    };
+    let opts = ChaosOptions {
+        group_commit_window: Some(SimDuration::from_secs(10)),
+        ..quick_opts()
+    };
+    (schedule, opts)
+}
+
+#[test]
+fn crash_inside_an_open_batch_legally_drops_unacked_commits() {
+    // Nothing of the open batch reached storage: every commit that was
+    // waiting on the batch flush may vanish (no ack was ever sent), and all
+    // five durability profiles must classify them that way — zero oracle
+    // violations, all pending commits dropped, none promoted.
+    let (schedule, opts) = open_batch_crash(FaultKind::CrashAtLsn {
+        in_flight: 1,
+        ops_each: 2,
+    });
+    for profile in SutProfile::all() {
+        let r = run_with_schedule(&profile, 7, &schedule, &opts)
+            .unwrap_or_else(|v| panic!("{}: {v}", profile.name));
+        assert!(
+            r.gc_dropped > 0,
+            "{}: the crash must catch unacked commits in the open batch",
+            profile.name
+        );
+        assert_eq!(
+            r.gc_promoted, 0,
+            "{}: no batch bytes reached storage, nothing to promote",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn torn_write_promotes_the_durable_prefix_of_an_open_batch() {
+    // The full encoded tail reaches storage before the crash: every pending
+    // commit's record is durable, so recovery replays them all and the
+    // harness must promote their effects even though no ack went out.
+    let (schedule, opts) = open_batch_crash(FaultKind::TornWrite {
+        in_flight: 1,
+        ops_each: 2,
+        cut_permille: 1000,
+    });
+    for profile in SutProfile::all() {
+        let r = run_with_schedule(&profile, 7, &schedule, &opts)
+            .unwrap_or_else(|v| panic!("{}: {v}", profile.name));
+        assert!(
+            r.gc_promoted > 0,
+            "{}: durable-but-unacked commits must be promoted",
+            profile.name
+        );
+        assert_eq!(
+            r.gc_dropped, 0,
+            "{}: the whole batch was durable, nothing may vanish",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn acking_before_the_flush_is_caught_by_the_durability_oracle() {
+    // Oracle self-test: a buggy engine that acknowledges commits the moment
+    // they enqueue (before the batch flush) loses acked transactions when
+    // the batch dies with the node — exactly what the durability oracle
+    // exists to catch.
+    let (schedule, clean_opts) = open_batch_crash(FaultKind::CrashAtLsn {
+        in_flight: 1,
+        ops_each: 2,
+    });
+    let profile = SutProfile::by_name("aws-rds").unwrap();
+    assert!(
+        run_with_schedule(&profile, 7, &schedule, &clean_opts).is_ok(),
+        "sanity: deferred acks survive the same crash"
+    );
+    let bugged = ChaosOptions {
+        bug_ack_unflushed: true,
+        ..clean_opts
+    };
+    let v = run_with_schedule(&profile, 7, &schedule, &bugged)
+        .expect_err("acked-then-lost commits must trip an oracle");
+    assert_eq!(v.oracle, "durability", "{v}");
 }
 
 #[test]

@@ -391,7 +391,9 @@ mod tests {
             assert!(t
                 .histogram("txn.latency_ns")
                 .is_some_and(|h| h.count() > 100));
-            assert!(t.counter("wal.appends") > 0);
+            // Commits ride the group-commit pipeline; legacy per-commit
+            // appends would show up under "wal.appends" instead.
+            assert!(t.counter("wal.gc.commits") + t.counter("wal.appends") > 0);
             assert!(!t.journal().is_empty());
         })
         .expect("sink enabled");

@@ -39,5 +39,5 @@ pub use failover::{
 pub use heartbeat::{HeartbeatMonitor, NodeHealth};
 pub use metering::{measure, MeterConfig, ResourceUsage};
 pub use node::{Node, NodeId, NodeRole, NodeStatus};
-pub use replication::{ReplayPolicy, ReplicationStream};
+pub use replication::{quorum_ack_latency, ReplayPolicy, ReplicationStream};
 pub use tenancy::{elastic_pool_allocate, TenancyModel};

@@ -42,6 +42,12 @@ pub struct ResourceUsage {
     pub storage_gb: f64,
     /// Provisioned IOPS.
     pub iops: u64,
+    /// Average I/O operations per second *actually issued* over the window
+    /// (page + log device ops), or 0 when the deployment was not metered at
+    /// the device level. When non-zero, billing charges these instead of the
+    /// provisioned figure — see [`Self::billable_iops`]. Group commit lowers
+    /// this directly: one batch flush replaces `batch_size` log ops.
+    pub observed_iops: u64,
     /// Network bandwidth in Gbps.
     pub network_gbps: f64,
     /// True if RDMA pricing applies.
@@ -71,6 +77,7 @@ pub fn measure(nodes: &[&Node], cfg: &MeterConfig, from: SimTime, to: SimTime) -
         avg_mem_gb: local_mem + cfg.remote_mem_gb,
         storage_gb: cfg.data_gb * cfg.storage_replication as f64,
         iops: cfg.provisioned_iops,
+        observed_iops: 0,
         network_gbps: cfg.network_gbps,
         rdma: cfg.rdma,
         window,
@@ -88,11 +95,24 @@ impl ResourceUsage {
             out.avg_mem_gb += p.avg_mem_gb;
             out.storage_gb += p.storage_gb;
             out.iops += p.iops;
+            out.observed_iops += p.observed_iops;
             out.network_gbps += p.network_gbps;
             out.rdma |= p.rdma;
             out.window = out.window.max(p.window);
         }
         out
+    }
+
+    /// IOPS the billing model charges: the observed average when the run
+    /// was metered at the device level, else the provisioned figure. This
+    /// is what makes group commit *visible* in the C-score IO component —
+    /// batching cuts observed log ops without changing provisioning.
+    pub fn billable_iops(&self) -> u64 {
+        if self.observed_iops > 0 {
+            self.observed_iops
+        } else {
+            self.iops
+        }
     }
 }
 
@@ -164,6 +184,15 @@ mod tests {
         assert!((three.avg_vcores - 12.0).abs() < 1e-9);
         assert_eq!(three.iops, 3000, "isolated instances triple the IOPS bill");
         assert!((three.network_gbps - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_iops_take_billing_precedence() {
+        let node = Node::new(NodeId(0), NodeRole::ReadWrite, 4.0, 16);
+        let mut u = measure(&[&node], &cfg(), SimTime::ZERO, SimTime::from_secs(60));
+        assert_eq!(u.billable_iops(), 1000, "unmetered runs bill provisioned");
+        u.observed_iops = 220;
+        assert_eq!(u.billable_iops(), 220, "metered runs bill what they used");
     }
 
     #[test]

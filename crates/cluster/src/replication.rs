@@ -55,6 +55,26 @@ impl ReplayPolicy {
     }
 }
 
+/// Extra commit-path latency of a `required`-of-`total` quorum append: the
+/// flush is acknowledged when the `required`-th fastest replica confirms,
+/// so the batch waits on the `required`-th smallest one-way ack spread
+/// (Aurora's 4/6 segment quorum, Neon's 2/3 safekeeper quorum).
+///
+/// `spreads` holds each replica's ack latency *beyond* the base log-service
+/// hop the profile already charges; the slice need not be sorted. Panics if
+/// `required` is zero or exceeds the replica count — a quorum that can
+/// never assemble is a misconfigured profile, not a runtime condition.
+pub fn quorum_ack_latency(spreads: &[SimDuration], required: usize) -> SimDuration {
+    assert!(
+        required >= 1 && required <= spreads.len(),
+        "quorum {required} of {} can never assemble",
+        spreads.len()
+    );
+    let mut sorted = spreads.to_vec();
+    sorted.sort();
+    sorted[required - 1]
+}
+
 /// The next apply boundary at or after `t` for a batching quantum `b`.
 fn next_boundary(t: SimTime, b: SimDuration) -> SimTime {
     if b.is_zero() {
@@ -265,5 +285,22 @@ mod tests {
         s.on_commit(Lsn(10), SimTime::from_secs(1), 1);
         s.on_commit(Lsn(5), SimTime::from_secs(1), 1); // out-of-order ack
         assert_eq!(s.applied().0, Lsn(10));
+    }
+
+    #[test]
+    fn quorum_waits_on_the_kth_fastest_replica() {
+        let us = SimDuration::from_micros;
+        let spreads = [us(130), us(60), us(100), us(180), us(70), us(85)];
+        // Aurora-style 4/6: the 4th-smallest spread gates the ack.
+        assert_eq!(quorum_ack_latency(&spreads, 4), us(100));
+        // Unanimous write waits on the straggler; a single ack on the fastest.
+        assert_eq!(quorum_ack_latency(&spreads, 6), us(180));
+        assert_eq!(quorum_ack_latency(&spreads, 1), us(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "never assemble")]
+    fn impossible_quorum_is_rejected() {
+        let _ = quorum_ack_latency(&[SimDuration::ZERO], 2);
     }
 }

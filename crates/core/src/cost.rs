@@ -102,6 +102,11 @@ fn hours(window: SimDuration) -> f64 {
 }
 
 /// Price `usage` with the standard Resource Unit Cost rates.
+///
+/// The IOPS component bills [`ResourceUsage::billable_iops`]: the observed
+/// device-op rate when the run was metered (group commit's batched flushes
+/// lower it directly), else the provisioned figure — which keeps the
+/// Table V reproductions, built from static configurations, unchanged.
 pub fn ruc_cost(usage: &ResourceUsage, rates: &RucRates) -> CostBreakdown {
     let h = hours(usage.window);
     let net_rate = if usage.rdma {
@@ -113,7 +118,7 @@ pub fn ruc_cost(usage: &ResourceUsage, rates: &RucRates) -> CostBreakdown {
         cpu: usage.avg_vcores * rates.cpu_vcore_hour * h,
         mem: usage.avg_mem_gb * rates.mem_gb_hour * h,
         storage: usage.storage_gb * rates.storage_gb_hour * h,
-        iops: usage.iops as f64 / 100.0 * rates.iops_100_hour * h,
+        iops: usage.billable_iops() as f64 / 100.0 * rates.iops_100_hour * h,
         network: usage.network_gbps * net_rate * h,
     }
 }
@@ -128,7 +133,7 @@ pub fn actual_cost(usage: &ResourceUsage, pricing: &ActualPricing) -> CostBreakd
         cpu: usage.avg_vcores * pricing.vcore_hour * h,
         mem: usage.avg_mem_gb * pricing.mem_gb_hour * h,
         storage: usage.storage_gb * pricing.storage_gb_hour * h,
-        iops: usage.iops as f64 / 100.0 * pricing.iops_100_hour * h,
+        iops: usage.billable_iops() as f64 / 100.0 * pricing.iops_100_hour * h,
         network: usage.network_gbps * pricing.network_gbps_hour * h,
     }
 }
@@ -150,10 +155,30 @@ mod tests {
             avg_mem_gb: mem,
             storage_gb: storage,
             iops,
+            observed_iops: 0,
             network_gbps: gbps,
             rdma,
             window: SimDuration::from_secs(60),
         }
+    }
+
+    #[test]
+    fn observed_iops_shrink_the_io_bill() {
+        // A metered run that actually issued 200 ops/s bills those, not the
+        // 1000 provisioned — this is how group commit shows up in C-score.
+        let provisioned = usage(4.0, 16.0, 42.0, 1000, 10.0, false);
+        let mut metered = provisioned;
+        metered.observed_iops = 200;
+        let rates = RucRates::default();
+        let a = ruc_cost(&provisioned, &rates);
+        let b = ruc_cost(&metered, &rates);
+        assert!(
+            (b.iops - a.iops / 5.0).abs() < 1e-12,
+            "{} vs {}",
+            b.iops,
+            a.iops
+        );
+        assert_eq!(a.cpu, b.cpu, "only the IO component moves");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use cb_cluster::{measure, Node, NodeId, NodeRole, ReplicationStream, ResourceUsa
 use cb_engine::sql::StmtRegistry;
 use cb_engine::{BufferPool, Database};
 use cb_sim::SimTime;
-use cb_store::StorageService;
+use cb_store::{GroupCommit, StorageService};
 use cb_sut::SutProfile;
 
 use crate::schema::{create_tables, load_dataset, DatasetShape, SalesTables, STMT_DB_TOML};
@@ -27,6 +27,8 @@ pub struct Deployment {
     pub shape: DatasetShape,
     /// The shared storage service.
     pub storage: StorageService,
+    /// The primary's group-commit pipeline (commit batching state).
+    pub group_commit: GroupCommit,
     /// Compute nodes; index 0 is the RW primary.
     pub nodes: Vec<Node>,
     /// Replication streams, one per RO node (aligned with `nodes[1..]`).
@@ -77,6 +79,7 @@ impl Deployment {
             streams.push(profile.replication_stream());
         }
         let remote_pool = profile.remote_pages(sim_scale).map(BufferPool::new);
+        let group_commit = profile.group_commit_pipeline();
         Deployment {
             profile,
             sim_scale,
@@ -85,6 +88,7 @@ impl Deployment {
             tables,
             shape,
             storage,
+            group_commit,
             nodes,
             streams,
             remote_pool,
@@ -144,17 +148,28 @@ impl Deployment {
             *node = fresh;
         }
         self.storage = self.profile.storage_service();
+        self.group_commit = self.profile.group_commit_pipeline();
         self.streams = (0..self.streams.len())
             .map(|_| self.profile.replication_stream())
             .collect();
         self.db.locks_mut().clear();
     }
 
-    /// Meter resource consumption over `[from, to)`.
+    /// Meter resource consumption over `[from, to)`. Device-level I/O is
+    /// metered from the storage service's op counters, so the billed IOPS
+    /// reflect what the run actually issued — group commit's batched
+    /// flushes directly shrink this figure (see
+    /// [`ResourceUsage::billable_iops`]).
     pub fn usage(&self, from: SimTime, to: SimTime) -> ResourceUsage {
         let cfg = self.profile.meter_config(self.data_gb_paper());
         let refs: Vec<&Node> = self.nodes.iter().collect();
-        measure(&refs, &cfg, from, to)
+        let mut u = measure(&refs, &cfg, from, to);
+        let secs = to.saturating_since(from).as_secs_f64();
+        if secs > 0.0 {
+            let ops = self.storage.page_ops() + self.storage.log_ops();
+            u.observed_iops = (ops as f64 / secs).round() as u64;
+        }
+        u
     }
 }
 

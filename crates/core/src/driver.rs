@@ -185,9 +185,11 @@ pub struct TenantResult {
 }
 
 impl TenantResult {
-    fn new() -> Self {
+    fn new(horizon: SimDuration) -> Self {
         TenantResult {
-            tps: TpsRecorder::per_second(),
+            // Capped at the run horizon: the driver never records past it,
+            // and a corrupt far-future timestamp must not balloon the slots.
+            tps: TpsRecorder::with_horizon(SimDuration::from_secs(1), horizon),
             committed: 0,
             latency_sum: SimDuration::ZERO,
             latency_max: SimDuration::ZERO,
@@ -376,8 +378,11 @@ pub fn run(dep: &mut Deployment, tenants: &[TenantSpec], opts: &RunOptions) -> R
     // Measurement state.
     let mut result = RunResult {
         horizon,
-        tenants: tenants.iter().map(|_| TenantResult::new()).collect(),
-        total: TpsRecorder::per_second(),
+        tenants: tenants
+            .iter()
+            .map(|_| TenantResult::new(horizon_d))
+            .collect(),
+        total: TpsRecorder::with_horizon(SimDuration::from_secs(1), horizon_d),
         lag: LagSamples::default(),
         failover: None,
         lock_conflicts: 0,
@@ -561,6 +566,7 @@ fn step_client(
         profile,
         db,
         storage,
+        group_commit,
         nodes,
         streams,
         remote_pool,
@@ -570,7 +576,8 @@ fn step_client(
     let node = &mut nodes[node_idx];
     let remote = remote_pool.as_mut().map(|pool| RemoteTier { pool });
     let mut ctx = ExecCtx::new(t, &mut node.pool, remote, storage, &profile.cost_model)
-        .with_obs(&opts.obs, node_idx as u64);
+        .with_obs(&opts.obs, node_idx as u64)
+        .with_group_commit(group_commit);
     let mut txn = db.begin();
     let stmt = |name: &str| -> &BoundStmt { registry.get(name).expect("registered") };
     match kind {
@@ -966,7 +973,7 @@ mod tests {
 
     #[test]
     fn tenant_result_latency_math() {
-        let mut tr = TenantResult::new();
+        let mut tr = TenantResult::new(SimDuration::from_secs(60));
         assert_eq!(tr.avg_latency(), SimDuration::ZERO);
         tr.committed = 4;
         tr.latency_sum = SimDuration::from_millis(8);

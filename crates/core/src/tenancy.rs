@@ -139,6 +139,7 @@ fn provisioned_usage(
         avg_mem_gb: mem,
         storage_gb: data_gb * profile.storage_replication as f64 * storage_mult,
         iops: profile.billed_iops * iops_mult,
+        observed_iops: 0,
         network_gbps: profile.network_gbps * net_mult,
         rdma: profile.rdma,
         window,

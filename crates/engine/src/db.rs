@@ -552,9 +552,10 @@ impl Database {
         ctx.charge_rows(rows);
     }
 
-    /// Commit: append the commit record, pay the durable log append.
-    /// The driver must then register `writes` in the lock table with the
-    /// transaction's virtual completion time.
+    /// Commit: append the commit record, pay the durable commit — through
+    /// the group-commit pipeline when the context carries one, else a
+    /// per-commit flush. The driver must then register `writes` in the lock
+    /// table with the transaction's virtual completion time.
     pub fn commit(&mut self, ctx: &mut ExecCtx<'_>, mut txn: TxnHandle) -> Committed {
         debug_assert!(!txn.finished);
         txn.finished = true;
@@ -567,7 +568,7 @@ impl Database {
         }
         let lsn = self.log.append(txn.id, WalOp::Commit);
         let bytes = txn.wal_bytes + self.log.get(lsn).expect("just appended").approx_bytes();
-        ctx.charge_log_append(bytes);
+        ctx.charge_commit(bytes);
         Committed {
             lsn,
             writes: std::mem::take(&mut txn.writes),

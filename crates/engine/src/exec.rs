@@ -9,7 +9,7 @@
 
 use cb_obs::{Category, ObsSink};
 use cb_sim::{SimDuration, SimTime};
-use cb_store::{PageId, StorageService};
+use cb_store::{GroupCommit, PageId, StorageService};
 
 use crate::bufferpool::BufferPool;
 
@@ -89,6 +89,10 @@ pub struct ExecCtx<'a> {
     pub io: SimDuration,
     /// Counters.
     pub stats: ExecStats,
+    /// Group-commit pipeline (attach via [`ExecCtx::with_group_commit`]).
+    /// When absent, [`ExecCtx::charge_commit`] falls back to the legacy
+    /// per-commit flush.
+    group_commit: Option<&'a mut GroupCommit>,
     /// Observability sink (no-op unless enabled via [`ExecCtx::with_obs`]).
     obs: ObsSink,
     /// Track id for emitted events (the executing node).
@@ -113,9 +117,16 @@ impl<'a> ExecCtx<'a> {
             cpu: SimDuration::ZERO,
             io: SimDuration::ZERO,
             stats: ExecStats::default(),
+            group_commit: None,
             obs: ObsSink::disabled(),
             track: 0,
         }
+    }
+
+    /// Route commits through `gc` instead of the legacy per-commit flush.
+    pub fn with_group_commit(mut self, gc: &'a mut GroupCommit) -> Self {
+        self.group_commit = Some(gc);
+        self
     }
 
     /// Attach an observability sink; `track` identifies the executing node
@@ -214,6 +225,32 @@ impl<'a> ExecCtx<'a> {
         self.obs.add("wal.appends", 1);
         self.obs.record("wal.append_ns", cost.as_nanos());
         self.obs.instant(Category::Wal, "append", self.track, at);
+    }
+
+    /// Charge the durable commit of `bytes` of WAL. With a group-commit
+    /// pipeline attached the commit stages into the open batch and waits
+    /// for the batch's flush ack (enqueue → flush → ack, each journaled);
+    /// without one it degenerates to [`ExecCtx::charge_log_append`].
+    pub fn charge_commit(&mut self, bytes: u64) {
+        let Some(gc) = self.group_commit.as_deref_mut() else {
+            self.charge_log_append(bytes);
+            return;
+        };
+        self.cpu += self.model.cpu_per_commit;
+        let at = self.now + self.io;
+        let ack = gc.enqueue(self.storage, at, bytes);
+        self.io += ack.wait;
+        self.obs.add("wal.gc.commits", 1);
+        self.obs.record("wal.gc.wait_ns", ack.wait.as_nanos());
+        self.obs
+            .instant(Category::Wal, "gc-enqueue", self.track, at);
+        if let Some((opened_at, flushed_at)) = ack.opened_batch {
+            self.obs.add("wal.gc.batches", 1);
+            self.obs
+                .span(Category::Wal, "gc-batch", self.track, opened_at, flushed_at);
+        }
+        self.obs
+            .instant(Category::Wal, "gc-ack", self.track, ack.ack_at);
     }
 
     /// Charge a background-style write-back of one page (checkpoints).
@@ -358,6 +395,55 @@ mod tests {
         assert_eq!(ctx.stats.remote_hits, 1);
         let _ = ctx;
         assert!(remote_pool.contains(PageId(1)));
+    }
+
+    #[test]
+    fn charge_commit_without_pipeline_is_the_legacy_flush() {
+        let mut pool_a = BufferPool::new(8);
+        let mut pool_b = BufferPool::new(8);
+        let mut st_a = coupled_storage();
+        let mut st_b = coupled_storage();
+        let model = CostModel::default();
+        let mut legacy = ExecCtx::new(SimTime::ZERO, &mut pool_a, None, &mut st_a, &model);
+        let mut fallback = ExecCtx::new(SimTime::ZERO, &mut pool_b, None, &mut st_b, &model);
+        legacy.charge_log_append(256);
+        fallback.charge_commit(256);
+        assert_eq!(legacy.io, fallback.io);
+        assert_eq!(legacy.cpu, fallback.cpu);
+    }
+
+    #[test]
+    fn grouped_commits_share_one_flush() {
+        use cb_store::{DurabilityAck, GroupCommitConfig};
+        let mut gc = GroupCommit::new(GroupCommitConfig {
+            window: SimDuration::from_micros(500),
+            max_batch: 64,
+            ack: DurabilityAck::LocalFsync,
+        });
+        let mut storage = coupled_storage();
+        let model = CostModel::default();
+        let mut pool = BufferPool::new(8);
+        {
+            let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut storage, &model)
+                .with_group_commit(&mut gc);
+            ctx.charge_commit(128);
+            // leader waits out the window plus the device access
+            assert!(ctx.io >= SimDuration::from_micros(500));
+        }
+        {
+            let mut ctx = ExecCtx::new(
+                SimTime::from_micros(100),
+                &mut pool,
+                None,
+                &mut storage,
+                &model,
+            )
+            .with_group_commit(&mut gc);
+            ctx.charge_commit(128);
+        }
+        assert_eq!(gc.commits(), 2);
+        assert_eq!(gc.batches(), 1, "second commit joined the open batch");
+        assert_eq!(storage.log_ops(), 1, "one device flush for the batch");
     }
 
     #[test]

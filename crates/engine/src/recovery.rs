@@ -125,10 +125,24 @@ pub fn redo_committed(db: &mut Database, records: &[WalRecord]) -> u64 {
 /// exact. If part of a loser's tail was torn away, in-place undo is not
 /// possible and recovery must replay from a base instead ([`rebuild`]).
 pub fn undo_losers(db: &mut Database, records: &[WalRecord]) -> u64 {
+    undo_losers_durable(db, records, records.len())
+}
+
+/// [`undo_losers`] with a durability horizon: only the first `durable_len`
+/// records of `records` reached stable storage before the crash. A `Commit`
+/// record *beyond* the horizon never became durable, so its transaction is a
+/// loser — it was acked to nobody (group commit holds the ack until the batch
+/// flush lands) and its effects must be rolled back. `Abort` records count
+/// wherever they appear: an aborting transaction applied its undo images
+/// eagerly before the crash, so it needs no further undo even if the abort
+/// record itself was torn away.
+pub fn undo_losers_durable(db: &mut Database, records: &[WalRecord], durable_len: usize) -> u64 {
     use crate::btree::AccessLog;
-    let finished: HashSet<TxnId> = records
+    let durable_len = durable_len.min(records.len());
+    let finished: HashSet<TxnId> = records[..durable_len]
         .iter()
-        .filter(|r| matches!(r.op, WalOp::Commit | WalOp::Abort))
+        .filter(|r| matches!(r.op, WalOp::Commit))
+        .chain(records.iter().filter(|r| matches!(r.op, WalOp::Abort)))
         .map(|r| r.txn)
         .collect();
     let mut alog = AccessLog::new();
@@ -299,6 +313,37 @@ mod tests {
         // The repaired image equals base + committed work only.
         let expected = rebuild(base, db.log());
         assert_eq!(db.dump_table(t), expected.dump_table(t));
+    }
+
+    #[test]
+    fn commit_beyond_the_durable_horizon_is_a_loser() {
+        // A group-commit batch was open at the crash: the transaction wrote
+        // its DML and even its Commit record, but the batch flush never
+        // landed, so the commit is not durable and must be undone.
+        let mut db = base();
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        {
+            let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+            let mut txn = db.begin();
+            db.insert(&mut ctx, &mut txn, t, row(21, 210)).unwrap();
+            db.update(&mut ctx, &mut txn, t, 5, |r| r.values[1] = Value::Int(-7))
+                .unwrap();
+            db.commit(&mut ctx, txn);
+        }
+        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
+        assert!(matches!(records.last().unwrap().op, WalOp::Commit));
+        // Full-tail undo sees the commit and keeps the changes...
+        let committed_image = db.dump_table(t);
+        assert_eq!(undo_losers_durable(&mut db, &records, records.len()), 0);
+        assert_eq!(db.dump_table(t), committed_image);
+        // ...but with the commit record past the durable horizon, both DML
+        // records roll back and the image returns to base.
+        let undone = undo_losers_durable(&mut db, &records, records.len() - 1);
+        assert_eq!(undone, 2);
+        assert_eq!(db.dump_table(t), base().dump_table(t));
     }
 
     #[test]

@@ -8,15 +8,22 @@ use crate::time::{SimDuration, SimTime};
 pub struct TpsRecorder {
     slot: SimDuration,
     counts: Vec<u64>,
+    /// Hard cap on slot growth; events past it count as overflow instead of
+    /// allocating (a stray far-future timestamp must not OOM the recorder).
+    max_slots: usize,
+    overflow: u64,
 }
 
 impl TpsRecorder {
-    /// A recorder with `slot`-wide buckets (must be non-zero).
+    /// A recorder with `slot`-wide buckets (must be non-zero) and no horizon
+    /// cap — use [`TpsRecorder::with_horizon`] when the run length is known.
     pub fn new(slot: SimDuration) -> Self {
         assert!(!slot.is_zero(), "slot width must be positive");
         TpsRecorder {
             slot,
             counts: Vec::new(),
+            max_slots: usize::MAX,
+            overflow: 0,
         }
     }
 
@@ -25,18 +32,38 @@ impl TpsRecorder {
         TpsRecorder::new(SimDuration::from_secs(1))
     }
 
+    /// A recorder whose slot storage is capped at the run `horizon`: events
+    /// timestamped past the slot containing the horizon instant are tallied
+    /// in [`TpsRecorder::overflow`] rather than growing `counts` without
+    /// bound. An event at exactly the horizon still records (drivers close
+    /// their measurement window with `end <= horizon`).
+    pub fn with_horizon(slot: SimDuration, horizon: SimDuration) -> Self {
+        let mut r = TpsRecorder::new(slot);
+        r.max_slots = (horizon.as_nanos() / slot.as_nanos()) as usize + 1;
+        r
+    }
+
     /// Record one event at `at`.
     pub fn record(&mut self, at: SimTime) {
         let idx = (at.as_nanos() / self.slot.as_nanos()) as usize;
+        if idx >= self.max_slots {
+            self.overflow += 1;
+            return;
+        }
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
         self.counts[idx] += 1;
     }
 
-    /// Total events recorded.
+    /// Total events recorded in-horizon (overflow events are not included).
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Events recorded past the configured horizon (always 0 without one).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 
     /// Events per second in each slot.
@@ -262,12 +289,24 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Geometric mean; 0.0 for an empty slice or any non-positive element.
+/// Geometric mean of the *positive* elements; 0.0 when none remain.
+///
+/// Non-positive (or NaN) elements are dropped with a warning rather than
+/// zeroing the whole mean: one idle tenant in a consolidation run should
+/// dent the T-Score, not erase it.
 pub fn geomean(xs: &[f64]) -> f64 {
-    if xs.is_empty() || xs.iter().any(|x| *x <= 0.0) {
+    let kept: Vec<f64> = xs.iter().copied().filter(|x| *x > 0.0).collect();
+    let dropped = xs.len() - kept.len();
+    if dropped > 0 {
+        eprintln!(
+            "warning: geomean dropped {dropped} non-positive element(s) of {}",
+            xs.len()
+        );
+    }
+    if kept.is_empty() {
         return 0.0;
     }
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    (kept.iter().map(|x| x.ln()).sum::<f64>() / kept.len() as f64).exp()
 }
 
 /// The `p`-th percentile (0..=100) of `xs`, linearly interpolated between
@@ -276,11 +315,13 @@ pub fn geomean(xs: &[f64]) -> f64 {
 /// [`Reservoir`] and the evaluators — so figures agree on interpolation.
 /// Exact streaming quantiles live in `cb_obs::LogHistogram`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
+    // NaN observations (a latency that never resolved) carry no rank
+    // information: skip them instead of panicking mid-report.
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() as f64 - 1.0);
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -319,6 +360,33 @@ mod tests {
         }
         assert_eq!(r.first_slot_at_rate(1, 1.0), Some(3));
         assert_eq!(r.first_slot_at_rate(1, 95.0), None);
+    }
+
+    #[test]
+    fn horizon_caps_slot_growth() {
+        let mut r =
+            TpsRecorder::with_horizon(SimDuration::from_secs(1), SimDuration::from_secs(10));
+        r.record(SimTime::from_secs(2));
+        r.record(SimTime::from_secs(10)); // exactly at the horizon: in range
+                                          // A stray far-future event must not allocate gigabytes of slots.
+        r.record(SimTime::from_secs(3_000_000));
+        r.record(SimTime::from_secs(11)); // first slot past the horizon's
+        assert_eq!(r.total(), 2);
+        assert_eq!(r.overflow(), 2);
+        assert!(r.counts().len() <= 11);
+        // An uncapped recorder still records anywhere, with zero overflow.
+        let mut free = TpsRecorder::per_second();
+        free.record(SimTime::from_secs(10));
+        assert_eq!(free.total(), 1);
+        assert_eq!(free.overflow(), 0);
+    }
+
+    #[test]
+    fn percentile_skips_nan_observations() {
+        // NaN must neither panic the sort nor poison the result.
+        assert_eq!(percentile(&[3.0, f64::NAN, 1.0, 2.0], 50.0), 2.0);
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), 0.0);
+        assert_eq!(percentile(&[f64::NAN, 7.0], 99.0), 7.0);
     }
 
     #[test]
@@ -385,7 +453,12 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+        // A non-positive element is dropped (with a warning), not allowed to
+        // zero the whole mean.
+        assert_eq!(geomean(&[1.0, 0.0]), 1.0);
+        assert_eq!(geomean(&[4.0, -1.0, 9.0]), 6.0);
+        assert_eq!(geomean(&[0.0, -3.0]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
         assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 50.0), 3.0);
         assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 100.0), 5.0);
         assert_eq!(percentile(&[], 50.0), 0.0);

@@ -11,15 +11,19 @@
 //!   safekeeper+pageserver, memory disaggregation).
 //! * [`codec`] — framed, checksummed on-wire WAL serialization (what log
 //!   shipping actually moves; detects torn tails and corruption).
+//! * [`group_commit`] — the [`GroupCommit`] pipeline: commits stage into a
+//!   virtual-time batch flushed per window/size cap, acked together.
 
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod group_commit;
 pub mod page;
 pub mod service;
 pub mod wal;
 
 pub use codec::{crc32, decode_record, decode_segment, encode_record, encode_segment, CodecError};
+pub use group_commit::{CommitAck, DurabilityAck, GroupCommit, GroupCommitConfig};
 pub use page::{PageBuf, PageId, PageStore, PAGE_SIZE};
 pub use service::{StorageArch, StorageService};
 pub use wal::{LogStore, Lsn, TableId, TxnId, WalOp, WalRecord};

@@ -93,9 +93,29 @@ impl StorageService {
     }
 
     /// Cost of durably appending `bytes` of WAL on the commit path.
+    ///
+    /// This is the legacy *per-commit* flush: one device access and one
+    /// quorum ack per transaction. The group-commit pipeline
+    /// ([`crate::GroupCommit`]) decomposes it into [`Self::log_stage_cost`]
+    /// per commit plus [`Self::log_flush_cost`] once per batch.
     pub fn log_append_cost(&mut self, now: SimTime, bytes: u64) -> SimDuration {
         let wire = self.net.map_or(SimDuration::ZERO, |n| n.transfer(bytes));
         wire + self.log_dev.access(now + wire) + self.quorum_extra
+    }
+
+    /// Cost of shipping `bytes` of commit WAL into an open commit batch:
+    /// wire transfer only. The durable flush is paid once per batch by
+    /// [`Self::log_flush_cost`].
+    pub fn log_stage_cost(&mut self, bytes: u64) -> SimDuration {
+        self.net.map_or(SimDuration::ZERO, |n| n.transfer(bytes))
+    }
+
+    /// Cost of durably flushing one commit batch at `now`: a single
+    /// log-device access plus the quorum ack overhead, regardless of how
+    /// many commits the batch holds — this is where group commit amortizes
+    /// the device's IOPS gap.
+    pub fn log_flush_cost(&mut self, now: SimTime) -> SimDuration {
+        self.log_dev.access(now) + self.quorum_extra
     }
 
     /// Cost of fetching one page the compute node does not have cached.

@@ -8,12 +8,12 @@
 //! in the workspace hard-codes per-system behaviour.
 
 use cb_cluster::{
-    FailoverModel, FixedCapacity, GradualDownScaler, MeterConfig, OnDemandScaler, QuantScaler,
-    RecoveryKind, ReplayPolicy, ReplicationStream, ScalingPolicy,
+    quorum_ack_latency, FailoverModel, FixedCapacity, GradualDownScaler, MeterConfig,
+    OnDemandScaler, QuantScaler, RecoveryKind, ReplayPolicy, ReplicationStream, ScalingPolicy,
 };
 use cb_engine::CostModel;
 use cb_sim::{Device, DeviceKind, NetworkLink, SimDuration};
-use cb_store::{StorageArch, StorageService};
+use cb_store::{DurabilityAck, GroupCommit, GroupCommitConfig, StorageArch, StorageService};
 
 /// Which autoscaling behaviour a SUT uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +94,9 @@ pub struct SutProfile {
     pub rdma: bool,
     /// Extra commit-path latency for quorum acknowledgement.
     pub quorum_extra: SimDuration,
+    /// Group-commit pipeline tuning: flush window, batch cap, and who must
+    /// acknowledge durability (Section III commit paths).
+    pub group_commit: GroupCommitConfig,
 
     // -- replication to read-only nodes --
     /// One-way log shipping latency to a replica.
@@ -162,6 +165,13 @@ impl SutProfile {
             network_gbps: 10.0,
             rdma: false,
             quorum_extra: SimDuration::ZERO,
+            // Postgres-style commit_delay: the leader holds the WAL open a
+            // short window so concurrent commits share one local fsync.
+            group_commit: GroupCommitConfig {
+                window: SimDuration::from_micros(500),
+                max_batch: 64,
+                ack: DurabilityAck::LocalFsync,
+            },
             ship_latency: SimDuration::from_millis(2),
             replay: ReplayPolicy::Sequential {
                 per_record: SimDuration::from_micros(5),
@@ -216,7 +226,20 @@ impl SutProfile {
             billed_iops: 1_000,
             network_gbps: 10.0,
             rdma: false,
-            quorum_extra: SimDuration::from_micros(100), // 4/6 quorum ack
+            // 4-of-6 segment quorum: the batch ack waits on the 4th-fastest
+            // replica's spread beyond the base smart-storage log hop.
+            quorum_extra: quorum_ack_latency(
+                &[60, 70, 85, 100, 130, 180].map(SimDuration::from_micros),
+                4,
+            ),
+            group_commit: GroupCommitConfig {
+                window: SimDuration::from_micros(300),
+                max_batch: 128,
+                ack: DurabilityAck::QuorumAppend {
+                    required: 4,
+                    total: 6,
+                },
+            },
             ship_latency: SimDuration::from_millis(5),
             replay: ReplayPolicy::Sequential {
                 per_record: SimDuration::from_micros(10),
@@ -273,6 +296,13 @@ impl SutProfile {
             network_gbps: 10.0,
             rdma: false,
             quorum_extra: SimDuration::from_micros(80),
+            // The dedicated log service batches landing appends itself; a
+            // slightly wider window than RDS compensates its lower IOPS cap.
+            group_commit: GroupCommitConfig {
+                window: SimDuration::from_micros(400),
+                max_batch: 128,
+                ack: DurabilityAck::LogService,
+            },
             ship_latency: SimDuration::from_millis(20), // log service -> page service -> replica
             replay: ReplayPolicy::Sequential {
                 per_record: SimDuration::from_micros(20),
@@ -335,7 +365,17 @@ impl SutProfile {
             billed_iops: 1_000,
             network_gbps: 10.0,
             rdma: false,
-            quorum_extra: SimDuration::from_micros(120), // 2/3 safekeeper quorum
+            // 2-of-3 safekeeper quorum: the ack waits on the 2nd-fastest
+            // safekeeper's spread beyond the base log hop.
+            quorum_extra: quorum_ack_latency(&[90, 120, 160].map(SimDuration::from_micros), 2),
+            group_commit: GroupCommitConfig {
+                window: SimDuration::from_micros(300),
+                max_batch: 128,
+                ack: DurabilityAck::SafekeeperQuorum {
+                    required: 2,
+                    total: 3,
+                },
+            },
             ship_latency: SimDuration::from_millis(2),
             replay: ReplayPolicy::Parallel {
                 per_record: SimDuration::from_micros(5),
@@ -394,6 +434,13 @@ impl SutProfile {
             network_gbps: 10.0,
             rdma: true,
             quorum_extra: SimDuration::from_micros(20),
+            // RDMA appends are cheap enough that only a sliver of batching
+            // pays off; a long window would just add commit latency.
+            group_commit: GroupCommitConfig {
+                window: SimDuration::from_micros(60),
+                max_batch: 32,
+                ack: DurabilityAck::RdmaReplicated,
+            },
             ship_latency: SimDuration::from_micros(200),
             replay: ReplayPolicy::OnDemand {
                 per_batch: SimDuration::from_micros(300),
@@ -466,6 +513,11 @@ impl SutProfile {
         )
     }
 
+    /// Construct a fresh group-commit pipeline for this SUT's commit path.
+    pub fn group_commit_pipeline(&self) -> GroupCommit {
+        GroupCommit::new(self.group_commit)
+    }
+
     /// Construct a fresh replication stream to one replica.
     pub fn replication_stream(&self) -> ReplicationStream {
         ReplicationStream::new(self.ship_latency, self.replay)
@@ -522,6 +574,40 @@ impl SutProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn commit_ack_paths_match_the_architectures() {
+        use cb_store::DurabilityAck as Ack;
+        let kinds: Vec<Ack> = SutProfile::all()
+            .iter()
+            .map(|p| p.group_commit.ack)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Ack::LocalFsync,
+                Ack::QuorumAppend {
+                    required: 4,
+                    total: 6
+                },
+                Ack::LogService,
+                Ack::SafekeeperQuorum {
+                    required: 2,
+                    total: 3
+                },
+                Ack::RdmaReplicated,
+            ]
+        );
+        for p in SutProfile::all() {
+            assert!(p.group_commit.max_batch >= 2, "{}", p.name);
+            assert!(!p.group_commit.window.is_zero(), "{}", p.name);
+        }
+        // The quorum spreads reproduce the pinned commit-path overheads.
+        let cdb1 = SutProfile::cdb1();
+        let cdb3 = SutProfile::cdb3();
+        assert_eq!(cdb1.quorum_extra, SimDuration::from_micros(100));
+        assert_eq!(cdb3.quorum_extra, SimDuration::from_micros(120));
+    }
 
     #[test]
     fn all_five_systems_present() {

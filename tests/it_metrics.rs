@@ -55,6 +55,7 @@ fn actual_pricing_reranks_p_scores() {
         avg_mem_gb: 16.0,
         storage_gb: 42.0,
         iops: 1000,
+        observed_iops: 0,
         network_gbps: 10.0,
         rdma: false,
         window: SimDuration::from_secs(window_secs),
