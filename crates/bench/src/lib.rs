@@ -7,12 +7,14 @@
 
 #![warn(missing_docs)]
 
+use cb_load::{ArrivalPlan, ArrivalProcess, PhasePlan};
 use cb_sim::{SimDuration, SimTime};
 use cb_sut::SutProfile;
 use cloudybench::cost::{ruc_cost, CostBreakdown, RucRates};
 use cloudybench::driver::VcoreControl;
 use cloudybench::{
-    run, AccessDistribution, Deployment, KeyPartition, RunOptions, TenantSpec, TxnMix,
+    run, run_open_loop, AccessDistribution, Deployment, KeyPartition, OpenLoopSpec, RunOptions,
+    TenantSpec, TxnMix,
 };
 
 /// Default simulation scale divisor: data and buffer pools shrink by this
@@ -119,6 +121,87 @@ pub fn oltp_grid(
             scale_factor: *sf,
             cells,
         }
+    })
+}
+
+/// Logical client population attributed to open-loop arrival plans. Large on
+/// purpose: idle clients cost nothing on the arrival heap, and the figure
+/// should demonstrate that.
+pub const OPEN_LOOP_CLIENTS: u64 = 100_000;
+
+/// One cell of an open-loop latency-throughput curve.
+pub struct OpenLoopCell {
+    /// Offered arrival rate (ops/s).
+    pub offered_rate: f64,
+    /// Committed TPS over the measurement window.
+    pub measured_tps: f64,
+    /// Mean coordinated-omission-correct response time, ms.
+    pub mean_ms: f64,
+    /// Median response time, ms.
+    pub p50_ms: f64,
+    /// p99 response time, ms.
+    pub p99_ms: f64,
+    /// p99.9 response time, ms.
+    pub p999_ms: f64,
+    /// p99 service time (start → completion), ms.
+    pub service_p99_ms: f64,
+    /// p99 scheduled-vs-actual-start lag, ms.
+    pub sched_lag_p99_ms: f64,
+    /// Peak queue depth during the run.
+    pub queue_depth_max: u64,
+}
+
+/// Run one open-loop Poisson cell at `rate` ops/s against an existing
+/// deployment: 2s warmup, 2s ramp, [`MEASURE_SECS`] measured.
+pub fn open_loop_cell(dep: &mut Deployment, mix: TxnMix, rate: f64) -> OpenLoopCell {
+    dep.reset_runtime();
+    let spec = OpenLoopSpec {
+        plan: ArrivalPlan::fixed_rate(
+            ArrivalProcess::poisson(rate),
+            PhasePlan::new(
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(MEASURE_SECS),
+            ),
+            OPEN_LOOP_CLIENTS,
+        ),
+        mix,
+        dist: AccessDistribution::Uniform,
+        partition: KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    };
+    let opts = RunOptions {
+        seed: SEED,
+        vcores: VcoreControl::Fixed,
+        ..RunOptions::default()
+    };
+    let r = run_open_loop(dep, &spec, &opts);
+    OpenLoopCell {
+        offered_rate: rate,
+        measured_tps: r.measured_tps(),
+        mean_ms: r.mean_response_ms(),
+        p50_ms: r.response_percentile_ms(50.0),
+        p99_ms: r.response_percentile_ms(99.0),
+        p999_ms: r.response_percentile_ms(99.9),
+        service_p99_ms: r.service_percentile_ms(99.0),
+        sched_lag_p99_ms: r.sched_lag_percentile_ms(99.0),
+        queue_depth_max: r.queue_depth_max,
+    }
+}
+
+/// The open-loop companion to the Fig 5 grid: sweep offered rates against a
+/// profile, one fresh deployment per rate cell, fanned over `jobs` workers
+/// in canonical order (byte-identical results for any `jobs`).
+pub fn open_loop_curve(
+    profile: &SutProfile,
+    scale_factor: u64,
+    sim_scale: u64,
+    mix: TxnMix,
+    rates: &[f64],
+    jobs: usize,
+) -> Vec<OpenLoopCell> {
+    cloudybench::parallel::par_map(rates, jobs, |_, &rate| {
+        let mut dep = Deployment::new(profile.clone(), scale_factor, sim_scale, 1, SEED);
+        open_loop_cell(&mut dep, mix, rate)
     })
 }
 

@@ -61,6 +61,12 @@ pub struct ChaosOptions {
     pub group_commit_window: Option<SimDuration>,
     /// Collect cb-obs artifacts (needed for the determinism oracle).
     pub collect_artifacts: bool,
+    /// Pace the workload with open-loop Poisson arrivals at this rate
+    /// (transactions per second) instead of back-to-back execution. Each
+    /// transaction waits for its scheduled arrival, so faults land in the
+    /// gaps between transactions as well as inside them — the timing the
+    /// closed back-to-back loop can never produce.
+    pub arrival_rate: Option<f64>,
 }
 
 impl Default for ChaosOptions {
@@ -72,6 +78,7 @@ impl Default for ChaosOptions {
             bug_ack_unflushed: false,
             group_commit_window: None,
             collect_artifacts: true,
+            arrival_rate: None,
         }
     }
 }
@@ -185,6 +192,10 @@ struct Harness {
     /// Commits enqueued but not yet acknowledged, FIFO by commit LSN.
     pending: std::collections::VecDeque<PendingCommit>,
     now: SimTime,
+    /// Open-loop arrival pacing, when [`ChaosOptions::arrival_rate`] is set.
+    /// Draws from its own seed stream so pacing on/off leaves the workload
+    /// and fault RNG sequences untouched.
+    arrivals: Option<cb_load::ArrivalGen>,
     wl_rng: DetRng,
     fault_rng: DetRng,
     obs: ObsSink,
@@ -224,6 +235,12 @@ impl Harness {
             gc: cb_store::GroupCommit::new(gc_cfg),
             pending: std::collections::VecDeque::new(),
             now: SimTime::from_secs(1),
+            arrivals: opts.arrival_rate.map(|rate| {
+                cb_load::ArrivalGen::new(
+                    cb_load::ArrivalProcess::poisson(rate),
+                    seed ^ 0xC7A0_5F1E_B33F_D00D,
+                )
+            }),
             wl_rng,
             fault_rng,
             obs,
@@ -366,6 +383,15 @@ impl Harness {
 
     /// One randomized T1–T4 transaction, mirrored into the shadow at ack.
     fn exec_txn(&mut self) -> Result<(), Violation> {
+        // Open-loop pacing: wait for the transaction's scheduled arrival.
+        // The arrival stream is anchored at the harness epoch (t = 1s), and
+        // `max` keeps time monotonic when the workload runs behind it (a
+        // transaction outlasting the next arrival gap).
+        if let Some(gen) = &mut self.arrivals {
+            if let Some(at) = gen.next_arrival() {
+                self.now = self.now.max(SimTime::from_secs(1) + (at - SimTime::ZERO));
+            }
+        }
         // Deliver any group-commit acks that matured while earlier
         // transactions ran.
         self.drain_acks(self.now);

@@ -264,3 +264,48 @@ fn replaying_a_printed_seed_regenerates_the_schedule() {
         assert_eq!(FaultSchedule::generate(seed, 40).to_string(), printed);
     }
 }
+
+#[test]
+fn poisson_paced_campaign_stays_clean_on_rds() {
+    // Satellite: chaos faults injected into an *open-loop* arrival stream.
+    // Poisson pacing stretches the run across wall-clock gaps, so crashes
+    // and heartbeat silences land between transactions (idle primary, open
+    // group-commit batches aging out) — timings the back-to-back loop never
+    // produces. All oracles must stay clean, and pacing must not perturb
+    // the fault schedule (it draws from a separate seed stream).
+    let profile = SutProfile::aws_rds();
+    let paced = ChaosOptions {
+        txns: 40,
+        arrival_rate: Some(120.0),
+        ..ChaosOptions::default()
+    };
+    let seeds: Vec<u64> = (1..=4).collect();
+    let report = run_campaign(&profile, &seeds, &paced);
+    assert!(
+        report.clean(),
+        "paced campaign violations: {}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.reports.len(), seeds.len());
+    for r in &report.reports {
+        assert!(r.committed > 0, "seed {} committed nothing", r.seed);
+    }
+    // Pacing must actually engage: the same seed run back-to-back produces
+    // a different (shorter) timeline, so the artifacts diverge.
+    let unpaced = ChaosOptions {
+        txns: 40,
+        ..ChaosOptions::default()
+    };
+    let with = run_seed(&profile, seeds[0], &paced).expect("paced run clean");
+    let without = run_seed(&profile, seeds[0], &unpaced).expect("unpaced run clean");
+    assert_ne!(
+        with.artifacts.expect("artifacts on").timeline,
+        without.artifacts.expect("artifacts on").timeline,
+        "poisson pacing should stretch the run timeline"
+    );
+}

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos_cmd;
+pub mod load_cmd;
 
 use cb_obs::ObsSink;
 use cb_sim::{SimDuration, SimTime};

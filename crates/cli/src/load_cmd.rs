@@ -1,0 +1,311 @@
+//! The `cloudybench load` subcommand: open-loop arrival-driven load runs.
+//!
+//! ```text
+//! cloudybench load --arrival poisson:5000/s                  # one run, defaults
+//! cloudybench load --arrival bursty:8000/s,200/s,2s,1s --runs 5 --jobs 4
+//! cloudybench load --arrival maxtp:64 --phases 2s,2s,20s     # saturation probe
+//! cloudybench load --arrival poisson:5000/s --out artifacts/ # write report file
+//! ```
+//!
+//! Runs are deterministic: the per-seed artifact written with `--out` is
+//! byte-identical for any `--jobs` value.
+
+use std::path::PathBuf;
+
+use cb_load::{ArrivalPlan, PhasePlan, TestMode};
+use cb_sut::SutProfile;
+use cloudybench::report::{fnum, summary_table, Table};
+use cloudybench::{
+    aggregate, run_open_loop_seeds, AccessDistribution, DatasetShape, KeyPartition, OpenLoopConfig,
+    OpenLoopSpec, SeedOutcome, TxnMix,
+};
+
+/// Parsed `load` subcommand arguments.
+struct LoadArgs {
+    mode: TestMode,
+    phases: PhasePlan,
+    clients: u64,
+    profile: SutProfile,
+    mix: TxnMix,
+    scale_factor: u64,
+    sim_scale: u64,
+    ro_nodes: usize,
+    seed: u64,
+    runs: u64,
+    jobs: usize,
+    out: Option<PathBuf>,
+}
+
+fn load_usage() -> String {
+    let names: Vec<&str> = SutProfile::all().iter().map(|p| p.name).collect();
+    format!(
+        "usage: cloudybench load --arrival SPEC [--phases W,R,M] [--runs N] [--jobs N]\n\
+         \x20                       [--profile NAME] [--mix ro|rw|wo] [--clients N]\n\
+         \x20                       [--seed N] [--scale-factor N] [--sim-scale N]\n\
+         \x20                       [--ro-nodes N] [--out DIR]\n\
+         \n\
+         --arrival SPEC     poisson:5000/s | bursty:on/s,off/s,mean-on,mean-off |\n\
+         \x20                  diurnal:base/s,amplitude,period | trace:t1,t2,... |\n\
+         \x20                  maxtp:CLIENTS (closed-loop-compatible saturation probe)\n\
+         --phases W,R,M     warmup,ramp-up,measure durations (default 2s,2s,20s)\n\
+         --runs N           seeds <seed>..<seed>+N, aggregated (default 1)\n\
+         --jobs N           worker threads (default: available parallelism;\n\
+         \x20                  results and artifacts are byte-identical to --jobs 1)\n\
+         --profile NAME     SUT profile ({}; default aws-rds)\n\
+         --mix ro|rw|wo     transaction mix (default rw)\n\
+         --clients N        logical client population for attribution (default 100000)\n\
+         --seed N           first workload seed (default 2025)\n\
+         --scale-factor N   dataset scale factor (default 1)\n\
+         --sim-scale N      simulation shrink divisor (default 100)\n\
+         --ro-nodes N       read-only replicas (default 1)\n\
+         --out DIR          write load-report.txt (deterministic artifact) to DIR",
+        names.join("|")
+    )
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<LoadArgs, String> {
+    let mut mode: Option<TestMode> = None;
+    let mut parsed = LoadArgs {
+        mode: TestMode::MaxThroughput { clients: 1 }, // placeholder until --arrival
+        phases: PhasePlan::parse("2s,2s,20s").expect("default phases parse"),
+        clients: 100_000,
+        profile: SutProfile::aws_rds(),
+        mix: TxnMix::read_write(),
+        scale_factor: 1,
+        sim_scale: 100,
+        ro_nodes: 1,
+        seed: 2025,
+        runs: 1,
+        jobs: cloudybench::parallel::default_jobs(),
+        out: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{}", load_usage()))
+        };
+        match arg.as_str() {
+            "--arrival" => mode = Some(ArrivalPlan::parse_mode(&value("--arrival")?)?),
+            "--phases" => parsed.phases = PhasePlan::parse(&value("--phases")?)?,
+            "--clients" => {
+                parsed.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--profile" => {
+                let name = value("--profile")?;
+                parsed.profile = SutProfile::by_name(&name)
+                    .ok_or_else(|| format!("unknown profile {name:?}\n{}", load_usage()))?;
+            }
+            "--mix" => {
+                let m = value("--mix")?;
+                parsed.mix = match m.to_ascii_lowercase().as_str() {
+                    "ro" => TxnMix::read_only(),
+                    "rw" => TxnMix::read_write(),
+                    "wo" => TxnMix::write_only(),
+                    other => return Err(format!("unknown mix {other:?}\n{}", load_usage())),
+                };
+            }
+            "--scale-factor" => {
+                parsed.scale_factor = value("--scale-factor")?
+                    .parse()
+                    .map_err(|e| format!("--scale-factor: {e}"))?
+            }
+            "--sim-scale" => {
+                parsed.sim_scale = value("--sim-scale")?
+                    .parse()
+                    .map_err(|e| format!("--sim-scale: {e}"))?
+            }
+            "--ro-nodes" => {
+                parsed.ro_nodes = value("--ro-nodes")?
+                    .parse()
+                    .map_err(|e| format!("--ro-nodes: {e}"))?
+            }
+            "--seed" => {
+                parsed.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--runs" => {
+                parsed.runs = value("--runs")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--runs: {e}"))?
+                    .max(1)
+            }
+            "--jobs" => {
+                parsed.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1)
+            }
+            "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => return Err(load_usage()),
+            other => return Err(format!("unknown argument {other:?}\n{}", load_usage())),
+        }
+    }
+    parsed.mode = mode.ok_or_else(|| format!("--arrival is required\n{}", load_usage()))?;
+    Ok(parsed)
+}
+
+/// One stable text line per seed — the deterministic artifact body. Floats
+/// print via `{:?}` (shortest round-trip form), so byte equality means
+/// bit equality.
+fn artifact(outcomes: &[SeedOutcome]) -> String {
+    let mut s = String::from(
+        "seed\ttps\tmean_ms\tp50_ms\tp99_ms\tp999_ms\tservice_p99_ms\tsched_lag_p99_ms\tqueue_depth_max\tarrivals\tmeasured\n",
+    );
+    for o in outcomes {
+        s.push_str(&format!(
+            "{}\t{:?}\t{:?}\t{:?}\t{:?}\t{:?}\t{:?}\t{:?}\t{}\t{}\t{}\n",
+            o.seed,
+            o.tps,
+            o.mean_ms,
+            o.p50_ms,
+            o.p99_ms,
+            o.p999_ms,
+            o.service_p99_ms,
+            o.sched_lag_p99_ms,
+            o.queue_depth_max,
+            o.arrivals,
+            o.measured,
+        ));
+    }
+    s
+}
+
+/// Entry point for `cloudybench load ...`. Returns the process exit code.
+pub fn load_main(args: impl Iterator<Item = String>) -> u8 {
+    let parsed = match parse(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let cfg = OpenLoopConfig {
+        profile: parsed.profile.clone(),
+        scale_factor: parsed.scale_factor,
+        sim_scale: parsed.sim_scale,
+        ro_nodes: parsed.ro_nodes,
+    };
+    let shape = DatasetShape::new(parsed.scale_factor, parsed.sim_scale);
+    let spec = OpenLoopSpec {
+        plan: ArrivalPlan {
+            mode: parsed.mode.clone(),
+            phases: parsed.phases.clone(),
+            logical_clients: parsed.clients,
+        },
+        mix: parsed.mix,
+        dist: AccessDistribution::Uniform,
+        partition: KeyPartition::whole(shape.orders, shape.customers),
+    };
+    let seeds: Vec<u64> = (parsed.seed..parsed.seed + parsed.runs).collect();
+    let outcomes = run_open_loop_seeds(&cfg, &spec, &seeds, parsed.jobs);
+
+    let mut t = Table::new(
+        &format!(
+            "Open-loop load — {} ({:?}, phases {:?}+{:?}+{:?})",
+            parsed.profile.name,
+            parsed.mode,
+            parsed.phases.warmup,
+            parsed.phases.rampup,
+            parsed.phases.measure,
+        ),
+        &[
+            "Seed", "TPS", "mean ms", "p50 ms", "p99 ms", "p99.9 ms", "svc p99", "lag p99",
+            "depth", "arrivals",
+        ],
+    );
+    for o in &outcomes {
+        t.row(&[
+            o.seed.to_string(),
+            fnum(o.tps),
+            fnum(o.mean_ms),
+            fnum(o.p50_ms),
+            fnum(o.p99_ms),
+            fnum(o.p999_ms),
+            fnum(o.service_p99_ms),
+            fnum(o.sched_lag_p99_ms),
+            o.queue_depth_max.to_string(),
+            o.arrivals.to_string(),
+        ]);
+    }
+    println!("{t}");
+    if outcomes.len() > 1 {
+        let agg = aggregate(&outcomes);
+        println!(
+            "{}",
+            summary_table(
+                &format!("Aggregate over {} seeds", outcomes.len()),
+                &[
+                    ("TPS", agg.tps),
+                    ("mean ms", agg.mean_ms),
+                    ("p99 ms", agg.p99_ms),
+                    ("p99.9 ms", agg.p999_ms),
+                ],
+            )
+        );
+    }
+    if let Some(dir) = &parsed.out {
+        let path = dir.join("load-report.txt");
+        match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, artifact(&outcomes)))
+        {
+            Ok(()) => println!("artifact written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cloudybench load: writing {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(String::from)
+    }
+
+    #[test]
+    fn parse_requires_arrival() {
+        assert!(parse(argv("--runs 3")).is_err());
+        let p = parse(argv("--arrival poisson:100/s --runs 3 --jobs 2")).unwrap();
+        assert_eq!(p.runs, 3);
+        assert_eq!(p.jobs, 2);
+        assert!(matches!(p.mode, TestMode::FixedRate(_)));
+    }
+
+    #[test]
+    fn parse_maxtp_and_phases() {
+        let p = parse(argv("--arrival maxtp:32 --phases 1s,1s,5s --profile cdb3")).unwrap();
+        assert!(matches!(p.mode, TestMode::MaxThroughput { clients: 32 }));
+        assert_eq!(p.profile.name, "cdb3");
+        assert_eq!(p.phases.total(), cb_sim::SimDuration::from_secs(7));
+        assert!(parse(argv("--arrival maxtp:32 --mix zz")).is_err());
+    }
+
+    #[test]
+    fn artifact_lines_are_stable() {
+        let o = SeedOutcome {
+            seed: 7,
+            tps: 123.456,
+            mean_ms: 1.5,
+            p50_ms: 1.25,
+            p99_ms: 4.75,
+            p999_ms: 9.5,
+            service_p99_ms: 4.5,
+            sched_lag_p99_ms: 0.25,
+            queue_depth_max: 42,
+            arrivals: 1000,
+            measured: 900,
+        };
+        let a = artifact(&[o]);
+        let b = artifact(&[o]);
+        assert_eq!(a, b);
+        assert!(a.starts_with("seed\t"));
+        assert!(a.contains("123.456"));
+    }
+}

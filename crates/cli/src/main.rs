@@ -20,6 +20,7 @@ use cloudybench::config::Props;
 fn usage() -> ExitCode {
     eprintln!("usage: cloudybench <props-file | - > [--trace-out DIR] [--metrics-out DIR]");
     eprintln!("       cloudybench chaos [--seeds N] [--profile NAME] [--replay SEED] ...");
+    eprintln!("       cloudybench load --arrival SPEC [--runs N] [--jobs N] ...");
     eprintln!();
     eprintln!("keys: sut (aws-rds|cdb1..cdb4), mode (oltp|elasticity|tenancy|failover|lagtime),");
     eprintln!("      scale_factor, sim_scale, seed, concurrency, duration_secs,");
@@ -36,6 +37,10 @@ fn main() -> ExitCode {
     if raw.peek().map(String::as_str) == Some("chaos") {
         raw.next();
         return ExitCode::from(cb_cli::chaos_cmd::chaos_main(raw));
+    }
+    if raw.peek().map(String::as_str) == Some("load") {
+        raw.next();
+        return ExitCode::from(cb_cli::load_cmd::load_main(raw));
     }
     let mut path: Option<String> = None;
     let mut trace_out: Option<PathBuf> = None;

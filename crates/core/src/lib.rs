@@ -36,6 +36,7 @@ pub mod failover_eval;
 pub mod lagtime;
 pub mod metrics;
 pub mod microservices;
+pub mod openloop;
 pub mod parallel;
 pub mod report;
 pub mod schema;
@@ -47,6 +48,10 @@ pub use deploy::Deployment;
 pub use driver::{
     run, FailurePlan, LagSamples, NodeMapping, RunOptions, RunResult, TenantResult, TenantSpec,
     VcoreControl, CLIENT_RTT,
+};
+pub use openloop::{
+    aggregate, run_load, run_open_loop, run_open_loop_seeds, LoadSpec, OpenLoopAggregate,
+    OpenLoopConfig, OpenLoopResult, OpenLoopSpec, SeedOutcome,
 };
 pub use schema::{create_tables, load_dataset, DatasetShape, SalesTables};
 pub use testbed::{OltpReport, Testbed};

@@ -103,6 +103,34 @@ pub fn fsecs(v: f64) -> String {
     format!("{v:.1}s")
 }
 
+/// Format a [`cb_load::Summary`] as `mean ± ci95 (cv N%)` — the standard
+/// cell for multi-seed aggregate tables.
+pub fn fsummary(s: &cb_load::Summary) -> String {
+    if s.n < 2 {
+        return fnum(s.mean);
+    }
+    format!(
+        "{} ± {} (cv {:.1}%)",
+        fnum(s.mean),
+        fnum(s.ci95),
+        s.cv * 100.0
+    )
+}
+
+/// Render a multi-run aggregate table: one row per labelled metric summary.
+pub fn summary_table(title: &str, rows: &[(&str, cb_load::Summary)]) -> Table {
+    let mut t = Table::new(title, &["metric", "mean ± 95% CI", "stddev", "n"]);
+    for (name, s) in rows {
+        t.row(&[
+            name.to_string(),
+            fsummary(s),
+            fnum(s.stddev),
+            s.n.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Print a labelled numeric series (figure data) as one line per point.
 pub fn print_series(title: &str, xlabel: &str, xs: &[String], series: &[(&str, Vec<f64>)]) {
     println!("## {title}");
@@ -147,6 +175,19 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn summary_table_renders_aggregates() {
+        let s = cb_load::Summary::of(&[100.0, 110.0, 120.0]);
+        let t = summary_table("Aggregate", &[("tps", s)]);
+        let out = t.to_string();
+        assert!(out.contains("tps"), "{out}");
+        assert!(out.contains("±"), "{out}");
+        assert!(out.contains("cv"), "{out}");
+        // Singleton summaries degrade to a bare mean.
+        let one = cb_load::Summary::of(&[5.0]);
+        assert_eq!(fsummary(&one), "5.000");
     }
 
     #[test]
