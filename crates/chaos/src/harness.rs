@@ -9,8 +9,9 @@
 //! copy of the WAL, pulled at every acknowledgement, never truncated — so
 //! that after a crash it can run both real recovery paths:
 //!
-//! * **replay-from-storage**: `base_database()` + `redo_committed(archive)`,
-//!   the CDB1–3 route (also "restore backup and roll forward"), and
+//! * **replay-from-storage**: `base_database()` + checkpoint-partitioned
+//!   parallel redo over the archive ([`cloudybench::replay`]), the CDB1–3
+//!   route (also "restore backup and roll forward"), and
 //! * **in-place ARIES undo**: `undo_losers_durable` over the crash epoch's
 //!   log tail applied to the crashed image, the RDS/CDB4 route.
 //!
@@ -28,13 +29,13 @@
 
 use cb_cluster::{plan_failover_with_detection, HeartbeatMonitor, NodeHealth};
 use cb_engine::exec::RemoteTier;
-use cb_engine::recovery::{analyze, redo_committed, undo_losers_durable};
+use cb_engine::recovery::{analyze, undo_losers_durable};
 use cb_engine::{ExecCtx, Row, Value};
 use cb_obs::{
     ascii_timeline, chrome_trace_json, histogram_csv, histogram_summary_json, Category, ObsSink,
 };
 use cb_sim::{DetRng, SimDuration, SimTime};
-use cb_store::{decode_record, encode_segment, Lsn, TxnId, WalOp, WalRecord};
+use cb_store::{decode_record, encode_segment_into, Lsn, TxnId, WalOp, WalRecord};
 use cb_sut::SutProfile;
 use cloudybench::Deployment;
 
@@ -187,6 +188,9 @@ struct Harness {
     archive: Vec<WalRecord>,
     /// Durable (acknowledged) log head.
     acked: Lsn,
+    /// Reused wire-encoding scratch for crash-time tail encodes: one
+    /// allocation per harness, not one per crash.
+    wire_scratch: Vec<u8>,
     /// The primary's group-commit pipeline (window possibly overridden).
     gc: cb_store::GroupCommit,
     /// Commits enqueued but not yet acknowledged, FIFO by commit LSN.
@@ -232,6 +236,7 @@ impl Harness {
             shadow,
             archive: Vec::new(),
             acked: Lsn::ZERO,
+            wire_scratch: Vec::new(),
             gc: cb_store::GroupCommit::new(gc_cfg),
             pending: std::collections::VecDeque::new(),
             now: SimTime::from_secs(1),
@@ -273,7 +278,7 @@ impl Harness {
     fn pull_archive(&mut self) {
         let last = self.archive.last().map(|r| r.lsn).unwrap_or(Lsn::ZERO);
         self.archive
-            .extend(self.dep.db.log().records_after(last).iter().cloned());
+            .extend(self.dep.db.log().records_after(last).cloned());
     }
 
     /// Like [`pull_archive`], but stop at `through`: the batch flush that
@@ -660,13 +665,22 @@ impl Harness {
         //    captured *before* any of it is lost — the in-place undo pass
         //    needs the before-images of loser records even when the torn
         //    write destroys their log entries.
-        let tail: Vec<WalRecord> = self.dep.db.log().records_after(self.acked).to_vec();
+        let tail: Vec<WalRecord> = self
+            .dep
+            .db
+            .log()
+            .records_after(self.acked)
+            .cloned()
+            .collect();
         // 3. Torn write: a byte prefix of the encoded tail reaches durable
-        //    storage; whole surviving frames are kept.
+        //    storage; whole surviving frames are kept. The encode reuses the
+        //    harness-lifetime scratch buffer through the codec.
         let survivors = match torn_cut_permille {
             None => 0usize,
             Some(permille) => {
-                let bytes = encode_segment(&tail);
+                self.wire_scratch.clear();
+                encode_segment_into(&tail, &mut self.wire_scratch);
+                let bytes = &self.wire_scratch;
                 let cut = bytes.len() * (permille.min(1000) as usize) / 1000;
                 let torn = &bytes[..cut];
                 let mut n = 0usize;
@@ -710,7 +724,10 @@ impl Harness {
         let mut replayed = self.dep.base_database();
         let redo_src = self.bugged_archive();
         let redo_start = self.now;
-        let redone = redo_committed(&mut replayed, &redo_src);
+        // Checkpoint-partitioned parallel redo with its fixed partition
+        // count; one worker here, but the merged plan is identical for any
+        // worker count, so campaign output cannot depend on `--jobs`.
+        let redone = cloudybench::replay::redo_committed_parallel(&mut replayed, &redo_src, 1);
         self.check_state(&replayed, "replay")?;
         // 6. In-place ARIES oracle: undo losers on the crashed image using
         //    the full pre-crash tail, honouring the durability horizon — a
@@ -757,9 +774,9 @@ impl Harness {
 
     /// The archive as the replay path sees it — identical unless the
     /// test-only `bug_skip_redo` mutation drops a committed DML record.
-    fn bugged_archive(&self) -> Vec<WalRecord> {
+    fn bugged_archive(&self) -> Vec<&WalRecord> {
         let Some(n) = self.opts.bug_skip_redo else {
-            return self.archive.clone();
+            return self.archive.iter().collect();
         };
         use std::collections::HashSet;
         let committed: HashSet<TxnId> = self
@@ -780,7 +797,6 @@ impl Harness {
                     true
                 }
             })
-            .cloned()
             .collect()
     }
 

@@ -18,6 +18,8 @@
 use cb_engine::recovery::AriesAnalysis;
 use cb_sim::{SimDuration, SimTime};
 
+use crate::replication::ReplayPolicy;
+
 /// The recovery route after the failed node restarts.
 #[derive(Clone, Copy, Debug)]
 pub enum RecoveryKind {
@@ -59,6 +61,14 @@ pub struct FailoverModel {
     pub restart: SimDuration,
     /// The recovery route.
     pub kind: RecoveryKind,
+    /// Log-replay parallelism during recovery: the same [`ReplayPolicy`]
+    /// the system's replicas run (CDB3's pageservers fan records across
+    /// lanes), consulted here because the *recovering* node replays with
+    /// the same engine. Its [`lanes`](ReplayPolicy::lanes) divide the
+    /// record-proportional redo/undo phase costs — checkpoint-partitioned
+    /// replay splits the scan, while fixed overheads (restart, reattach
+    /// hops, analysis base) stay single-lane.
+    pub replay: ReplayPolicy,
     /// Length of the post-resumption warm-up ramp (drives R-Score).
     pub warmup: SimDuration,
     /// Peak extra per-transaction latency at the start of the ramp.
@@ -155,6 +165,9 @@ pub fn plan_failover_with_detection(
         detected_at.saturating_since(inject),
         &mut t,
     );
+    // Partitioned replay splits record-proportional work across lanes; the
+    // analysis scan and all fixed overheads remain single-lane.
+    let lanes = model.replay.lanes();
     match model.kind {
         RecoveryKind::Aries { per_record, base } => {
             push(&mut phases, "restart", model.restart, &mut t);
@@ -167,13 +180,13 @@ pub fn plan_failover_with_detection(
             push(
                 &mut phases,
                 "redo",
-                per_record * analysis.redo_records,
+                per_record * analysis.redo_records / lanes,
                 &mut t,
             );
             push(
                 &mut phases,
                 "undo",
-                per_record * analysis.undo_records * 2,
+                per_record * analysis.undo_records * 2 / lanes,
                 &mut t,
             );
         }
@@ -190,10 +203,20 @@ pub fn plan_failover_with_detection(
                 base + per_hop * hops as u64,
                 &mut t,
             );
+            // The storage tier serves a consistent view only once it has
+            // applied the committed tail up to the crash LSN; that catch-up
+            // runs at the replicas' replay speed — CDB3's pageservers fan
+            // it across lanes, CDB1/2 grind through it sequentially.
+            push(
+                &mut phases,
+                "catchup",
+                model.replay.per_record() * analysis.redo_records / lanes,
+                &mut t,
+            );
             push(
                 &mut phases,
                 "undo",
-                undo_per_record * analysis.undo_records,
+                undo_per_record * analysis.undo_records / lanes,
                 &mut t,
             );
         }
@@ -261,6 +284,21 @@ mod tests {
         }
     }
 
+    fn seq_replay() -> ReplayPolicy {
+        ReplayPolicy::Sequential {
+            per_record: SimDuration::from_micros(5),
+            batch_interval: SimDuration::from_millis(10),
+        }
+    }
+
+    fn par_replay(lanes: u32) -> ReplayPolicy {
+        ReplayPolicy::Parallel {
+            per_record: SimDuration::from_micros(5),
+            lanes,
+            batch_interval: SimDuration::from_millis(10),
+        }
+    }
+
     fn aries_model() -> FailoverModel {
         FailoverModel {
             detection: SimDuration::from_secs(2),
@@ -269,6 +307,7 @@ mod tests {
                 per_record: SimDuration::from_micros(200),
                 base: SimDuration::from_secs(1),
             },
+            replay: seq_replay(),
             warmup: SimDuration::from_secs(20),
             warmup_peak: SimDuration::from_millis(5),
         }
@@ -320,7 +359,7 @@ mod tests {
     }
 
     #[test]
-    fn replay_from_storage_is_log_tail_independent() {
+    fn replay_from_storage_pays_catchup_at_replay_speed() {
         let m = FailoverModel {
             detection: SimDuration::from_secs(2),
             restart: SimDuration::from_secs(3),
@@ -330,12 +369,34 @@ mod tests {
                 per_hop: SimDuration::from_millis(500),
                 undo_per_record: SimDuration::from_micros(100),
             },
+            replay: seq_replay(),
             warmup: SimDuration::from_secs(10),
             warmup_peak: SimDuration::from_millis(3),
         };
+        // The storage tier applies the committed tail to the crash LSN
+        // before serving a view: downtime grows with the tail, charged at
+        // the replicas' replay cost — not at an ARIES per-record cost.
         let small = plan_failover(&m, SimTime::ZERO, &analysis(1_000, 800, 0));
         let large = plan_failover(&m, SimTime::ZERO, &analysis(1_000_000, 800_000, 0));
-        assert_eq!(small.downtime(), large.downtime());
+        assert!(large.downtime() > small.downtime());
+        assert_eq!(
+            small.phase("catchup").unwrap().duration(),
+            SimDuration::from_micros(5) * 800u64
+        );
+        assert_eq!(
+            large.phase("catchup").unwrap().duration(),
+            SimDuration::from_micros(5) * 800_000u64
+        );
+        // Parallel replay lanes divide the catch-up (the CDB3 story).
+        let par = FailoverModel {
+            replay: par_replay(8),
+            ..m
+        };
+        let p = plan_failover(&par, SimTime::ZERO, &analysis(1_000_000, 800_000, 0));
+        assert_eq!(
+            p.phase("catchup").unwrap().duration(),
+            SimDuration::from_micros(5) * 800_000u64 / 8
+        );
         // More hops => longer route (the CDB2 story).
         let m_long = FailoverModel {
             kind: RecoveryKind::ReplayFromStorage {
@@ -351,6 +412,55 @@ mod tests {
     }
 
     #[test]
+    fn parallel_replay_divides_record_costs_only() {
+        let seq = aries_model();
+        let par = FailoverModel {
+            replay: par_replay(8),
+            ..seq
+        };
+        let a = analysis(100_000, 80_000, 4_000);
+        let ts = plan_failover(&seq, SimTime::ZERO, &a);
+        let tp = plan_failover(&par, SimTime::ZERO, &a);
+        // Fixed phases are identical lane-for-lane.
+        for name in ["detect", "restart", "analysis"] {
+            assert_eq!(
+                ts.phase(name).unwrap().duration(),
+                tp.phase(name).unwrap().duration(),
+                "{name} is not record-proportional"
+            );
+        }
+        // Record-proportional phases shrink by exactly the lane count.
+        assert_eq!(
+            tp.phase("redo").unwrap().duration(),
+            ts.phase("redo").unwrap().duration() / 8
+        );
+        assert_eq!(
+            tp.phase("undo").unwrap().duration(),
+            ts.phase("undo").unwrap().duration() / 8
+        );
+        assert!(tp.downtime() < ts.downtime());
+        // Replay-from-storage route: lanes divide the undo scan.
+        let rfs = FailoverModel {
+            kind: RecoveryKind::ReplayFromStorage {
+                base: SimDuration::from_secs(1),
+                hops: 2,
+                per_hop: SimDuration::from_millis(500),
+                undo_per_record: SimDuration::from_micros(100),
+            },
+            replay: par_replay(8),
+            ..seq
+        };
+        let t = plan_failover(&rfs, SimTime::ZERO, &a);
+        assert_eq!(
+            t.phase("undo").unwrap().duration(),
+            SimDuration::from_micros(100) * 4_000 / 8
+        );
+        // Degenerate lane counts behave like sequential.
+        assert_eq!(par_replay(0).lanes(), 1);
+        assert_eq!(seq_replay().lanes(), 1);
+    }
+
+    #[test]
     fn remote_buffer_switch_has_three_phases() {
         let m = FailoverModel {
             detection: SimDuration::from_millis(500),
@@ -360,6 +470,7 @@ mod tests {
                 switchover: SimDuration::from_secs(2),
                 recovering: SimDuration::from_secs(3),
             },
+            replay: seq_replay(),
             warmup: SimDuration::from_secs(3),
             warmup_peak: SimDuration::from_millis(1),
         };

@@ -46,6 +46,26 @@ pub enum ReplayPolicy {
 }
 
 impl ReplayPolicy {
+    /// Parallel replay lanes: the divisor for record-proportional replay
+    /// work. 1 for the single-lane policies (sequential replay and CDB4's
+    /// on-demand materialization).
+    pub fn lanes(&self) -> u64 {
+        match self {
+            ReplayPolicy::Parallel { lanes, .. } => u64::from((*lanes).max(1)),
+            ReplayPolicy::Sequential { .. } | ReplayPolicy::OnDemand { .. } => 1,
+        }
+    }
+
+    /// Cost to replay one record, ZERO for on-demand materialization
+    /// (there is no upfront apply to wait for).
+    pub fn per_record(&self) -> SimDuration {
+        match self {
+            ReplayPolicy::Sequential { per_record, .. }
+            | ReplayPolicy::Parallel { per_record, .. } => *per_record,
+            ReplayPolicy::OnDemand { .. } => SimDuration::ZERO,
+        }
+    }
+
     fn batch_interval(&self) -> SimDuration {
         match self {
             ReplayPolicy::Sequential { batch_interval, .. }

@@ -20,6 +20,8 @@
 //!   registry exactly as the extensibility story prescribes.
 //! * [`parallel`] — deterministic scoped-thread fan-out of independent
 //!   experiment cells (grids, chaos seeds) with canonical-order merging.
+//! * [`replay`] — checkpoint-partitioned parallel ARIES redo on top of
+//!   [`parallel`]: partition-scan, canonical merge, batched sorted apply.
 //! * [`collector`] — CSV export of recorded series (figures as data).
 //! * [`config`] — the props-file configuration format.
 //! * [`report`] — ASCII tables for the bench harness.
@@ -38,6 +40,7 @@ pub mod metrics;
 pub mod microservices;
 pub mod openloop;
 pub mod parallel;
+pub mod replay;
 pub mod report;
 pub mod schema;
 pub mod tenancy;
@@ -53,6 +56,7 @@ pub use openloop::{
     aggregate, run_load, run_open_loop, run_open_loop_seeds, LoadSpec, OpenLoopAggregate,
     OpenLoopConfig, OpenLoopResult, OpenLoopSpec, SeedOutcome,
 };
+pub use replay::{rebuild_parallel, redo_committed_parallel, REDO_PARTITIONS};
 pub use schema::{create_tables, load_dataset, DatasetShape, SalesTables};
 pub use testbed::{OltpReport, Testbed};
 pub use workload::{AccessDistribution, KeyPartition, TxnKind, TxnMix};

@@ -360,8 +360,11 @@ impl Database {
         let mut n = 0u64;
         // One scratch image buffer for the whole load: dataset generation
         // encodes millions of rows, and this loop is its only allocation-free
-        // path (Value::encode_into appends; no per-row Vec).
+        // path (Value::encode_into appends; no per-row Vec). The ingest
+        // cursor makes the (typically ascending-key) generated stream skip
+        // the per-row root-to-leaf descent.
         let mut image = Vec::new();
+        let mut cur = crate::btree::BatchIngest::new();
         for row in rows {
             let t = &mut self.tables[table.0 as usize];
             t.schema.validate(&row).expect("bulk rows must fit schema");
@@ -369,7 +372,7 @@ impl Database {
             image.clear();
             row.encode_into(&mut image);
             t.tree
-                .insert(&mut self.pages, key, &image, &mut log)
+                .insert_sorted(&mut self.pages, &mut cur, key, &image, &mut log)
                 .expect("bulk load keys must be unique");
             Self::index_add(&mut self.pages, t, &row, key, &mut log);
             t.rows += 1;
@@ -681,10 +684,41 @@ impl Database {
         alog: &mut AccessLog,
     ) {
         let t = &mut self.tables[table.0 as usize];
+        Self::insert_raw_inner(&mut self.pages, t, key, image, alog);
+    }
+
+    /// [`apply_insert_raw`](Self::apply_insert_raw) through a [`BatchIngest`]
+    /// cursor: sorted redo/replay streams amortize the B-tree descent. The
+    /// cursor is only valid for consecutive inserts into `table`; callers
+    /// must invalidate it around any other mutation of the same tree.
+    pub fn apply_insert_raw_batched(
+        &mut self,
+        table: TableId,
+        key: i64,
+        image: &[u8],
+        cur: &mut crate::btree::BatchIngest,
+        alog: &mut AccessLog,
+    ) {
+        let t = &mut self.tables[table.0 as usize];
         t.tree
-            .insert(&mut self.pages, key, image, alog)
+            .insert_sorted(&mut self.pages, cur, key, image, alog)
             .expect("redo insert must not collide");
         Self::index_add(&mut self.pages, t, &Row::decode(image), key, alog);
+        t.rows += 1;
+        t.auto_key = t.auto_key.max(key + 1);
+    }
+
+    fn insert_raw_inner(
+        pages: &mut PageStore,
+        t: &mut TableMeta,
+        key: i64,
+        image: &[u8],
+        alog: &mut AccessLog,
+    ) {
+        t.tree
+            .insert(pages, key, image, alog)
+            .expect("redo insert must not collide");
+        Self::index_add(pages, t, &Row::decode(image), key, alog);
         t.rows += 1;
         t.auto_key = t.auto_key.max(key + 1);
     }
@@ -698,34 +732,125 @@ impl Database {
         alog: &mut AccessLog,
     ) {
         let t = &mut self.tables[table.0 as usize];
+        Self::update_raw_inner(&mut self.pages, t, key, image, alog);
+    }
+
+    fn update_raw_inner(
+        pages: &mut PageStore,
+        t: &mut TableMeta,
+        key: i64,
+        image: &[u8],
+        alog: &mut AccessLog,
+    ) {
         // Decode the before-row up front: the borrowed image must be
         // released before the tree mutates the page it lives in.
         let before_row = Row::decode(
             t.tree
-                .get(&self.pages, key, alog)
+                .get(pages, key, alog)
                 .unwrap_or_else(|| panic!("redo update of missing key {key}")),
         );
-        let ok = t.tree.update(&mut self.pages, key, image, alog);
+        let ok = t.tree.update(pages, key, image, alog);
         assert!(ok, "redo update of missing key {key}");
-        Self::index_transition(
-            &mut self.pages,
-            t,
-            &before_row,
-            &Row::decode(image),
-            key,
-            alog,
-        );
+        Self::index_transition(pages, t, &before_row, &Row::decode(image), key, alog);
     }
 
     /// Recovery/replication internal: apply a delete directly.
     pub fn apply_delete_raw(&mut self, table: TableId, key: i64, alog: &mut AccessLog) {
         let t = &mut self.tables[table.0 as usize];
-        let removed = t.tree.delete(&mut self.pages, key, alog);
+        Self::delete_raw_inner(&mut self.pages, t, key, alog);
+    }
+
+    fn delete_raw_inner(pages: &mut PageStore, t: &mut TableMeta, key: i64, alog: &mut AccessLog) {
+        let removed = t.tree.delete(pages, key, alog);
         let Some(before) = removed else {
             panic!("redo delete of missing key {key}");
         };
-        Self::index_remove(&mut self.pages, t, &Row::decode(&before), key, alog);
+        Self::index_remove(pages, t, &Row::decode(&before), key, alog);
         t.rows -= 1;
+    }
+
+    /// Recovery internal: ensure `table`'s next auto-assigned key is past
+    /// `key`. Net-effect replay applies only each key's final image, so
+    /// inserts that were later deleted never reach [`apply_insert_raw`];
+    /// this keeps the auto-key watermark identical to sequential redo.
+    pub fn bump_auto_key(&mut self, table: TableId, key: i64) {
+        let t = &mut self.tables[table.0 as usize];
+        t.auto_key = t.auto_key.max(key + 1);
+    }
+
+    /// ARIES undo pass over this database's *own* log tail, in place and
+    /// clone-free: the walk borrows records straight out of the segmented
+    /// log (disjoint from the page/catalog state being repaired) instead of
+    /// copying the WAL first. Semantics match
+    /// [`undo_losers_durable`](crate::recovery::undo_losers_durable) with
+    /// `records = log.records_after(after)`: the first `durable_len` of
+    /// those records reached stable storage; later `Commit` records never
+    /// became durable, so their transactions roll back. Returns the number
+    /// of records undone.
+    pub fn undo_losers_in_place(&mut self, after: Lsn, durable_len: usize) -> u64 {
+        let Database {
+            pages, log, tables, ..
+        } = self;
+        let records: Vec<&WalRecord> = log.records_after(after).collect();
+        Self::undo_over(pages, tables, &records, durable_len)
+    }
+
+    /// Shared undo-walk implementation over borrowed records (also the
+    /// backing for `recovery::undo_losers_durable`, which undoes an
+    /// externally captured crash tail into a database).
+    pub(crate) fn undo_refs(&mut self, records: &[&WalRecord], durable_len: usize) -> u64 {
+        Self::undo_over(&mut self.pages, &mut self.tables, records, durable_len)
+    }
+
+    fn undo_over(
+        pages: &mut PageStore,
+        tables: &mut [TableMeta],
+        records: &[&WalRecord],
+        durable_len: usize,
+    ) -> u64 {
+        use std::collections::HashSet;
+        let durable_len = durable_len.min(records.len());
+        let finished: HashSet<TxnId> = records[..durable_len]
+            .iter()
+            .filter(|r| matches!(r.op, WalOp::Commit))
+            .chain(records.iter().filter(|r| matches!(r.op, WalOp::Abort)))
+            .map(|r| r.txn)
+            .collect();
+        let mut alog = AccessLog::new();
+        let mut undone = 0u64;
+        for r in records.iter().rev() {
+            if !r.op.is_dml() || finished.contains(&r.txn) {
+                continue;
+            }
+            match &r.op {
+                WalOp::Insert { table, key, .. } => {
+                    Self::delete_raw_inner(pages, &mut tables[table.0 as usize], *key, &mut alog);
+                }
+                WalOp::Update {
+                    table, key, before, ..
+                } => {
+                    Self::update_raw_inner(
+                        pages,
+                        &mut tables[table.0 as usize],
+                        *key,
+                        before,
+                        &mut alog,
+                    );
+                }
+                WalOp::Delete { table, key, before } => {
+                    Self::insert_raw_inner(
+                        pages,
+                        &mut tables[table.0 as usize],
+                        *key,
+                        before,
+                        &mut alog,
+                    );
+                }
+                _ => unreachable!("is_dml filtered"),
+            }
+            undone += 1;
+        }
+        undone
     }
 
     /// Total data size in bytes (for storage cost accounting).
@@ -986,16 +1111,10 @@ mod tests {
         let ops: Vec<_> = db
             .log()
             .records_after(Lsn::ZERO)
-            .iter()
             .map(|r| std::mem::discriminant(&r.op))
             .collect();
         assert_eq!(ops.len(), 3); // Begin, Insert, Commit
-        let kinds: Vec<_> = db
-            .log()
-            .records_after(Lsn::ZERO)
-            .iter()
-            .map(|r| &r.op)
-            .collect();
+        let kinds: Vec<_> = db.log().records_after(Lsn::ZERO).map(|r| &r.op).collect();
         assert!(matches!(kinds[0], WalOp::Begin));
         assert!(matches!(kinds[1], WalOp::Insert { key: 1, .. }));
         assert!(matches!(kinds[2], WalOp::Commit));

@@ -14,7 +14,7 @@
 
 use std::collections::HashSet;
 
-use cb_store::{LogStore, Lsn, TxnId, WalOp, WalRecord};
+use cb_store::{LogStore, Lsn, TableId, TxnId, WalOp, WalRecord};
 
 use crate::db::Database;
 
@@ -33,16 +33,17 @@ pub struct AriesAnalysis {
 
 /// Scan `log` from just after `checkpoint`, classifying work. `in_flight`
 /// lists transactions that had begun before the crash and must be treated
-/// as losers unless a commit record is found.
+/// as losers unless a commit record is found. The scan borrows records out
+/// of the segmented log — nothing is copied.
 pub fn analyze(log: &LogStore, checkpoint: Lsn) -> AriesAnalysis {
     let records = log.records_after(checkpoint);
     let committed: HashSet<TxnId> = records
-        .iter()
+        .clone()
         .filter(|r| matches!(r.op, WalOp::Commit))
         .map(|r| r.txn)
         .collect();
     let aborted: HashSet<TxnId> = records
-        .iter()
+        .clone()
         .filter(|r| matches!(r.op, WalOp::Abort))
         .map(|r| r.txn)
         .collect();
@@ -94,9 +95,18 @@ pub fn apply_redo(db: &mut Database, rec: &WalRecord) {
 
 /// Redo every committed transaction's DML from `records` (in order) onto
 /// `db`. Returns the number of records applied.
-pub fn redo_committed(db: &mut Database, records: &[WalRecord]) -> u64 {
+///
+/// Generic over any re-iterable source of borrowed records — a `&Vec` /
+/// slice of an owned tail, or [`LogStore::records_after`]'s borrowing
+/// iterator — so replay never copies the WAL first.
+pub fn redo_committed<'a, I>(db: &mut Database, records: I) -> u64
+where
+    I: IntoIterator<Item = &'a WalRecord>,
+    I::IntoIter: Clone,
+{
+    let records = records.into_iter();
     let committed: HashSet<TxnId> = records
-        .iter()
+        .clone()
         .filter(|r| matches!(r.op, WalOp::Commit))
         .map(|r| r.txn)
         .collect();
@@ -108,6 +118,197 @@ pub fn redo_committed(db: &mut Database, records: &[WalRecord]) -> u64 {
         }
     }
     applied
+}
+
+/// The committed-transaction set of a record stream (the first pass of
+/// redo, exposed so partitioned replay computes it once for all lanes).
+pub fn committed_txns<'a>(records: impl IntoIterator<Item = &'a WalRecord>) -> HashSet<TxnId> {
+    records
+        .into_iter()
+        .filter(|r| matches!(r.op, WalOp::Commit))
+        .map(|r| r.txn)
+        .collect()
+}
+
+// --- Checkpoint-partitioned parallel redo ----------------------------------
+
+/// Deterministic partition assignment for a `(table, key)` pair. Pure
+/// arithmetic (a multiplicative hash), so the assignment is identical on
+/// every host and for every worker count — partition *contents* depend only
+/// on the log, never on how many threads scan it.
+pub fn redo_partition(table: TableId, key: i64, partitions: usize) -> usize {
+    let mixed = (((table.0 as u64) << 48) ^ (key as u64)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (mixed >> 32) as usize % partitions.max(1)
+}
+
+/// The net effect of the committed post-checkpoint log on one row.
+///
+/// Under strict two-phase locking the committed projection of the log is
+/// well-formed against the checkpoint image: the *first* committed op on a
+/// key tells whether the row existed at the checkpoint (`Insert` ⇒ absent,
+/// `Update`/`Delete` ⇒ present) and the *last* op gives its final state.
+/// Everything in between cancels out, so redo applies at most one physical
+/// op per row instead of the whole history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetAction<'a> {
+    /// Absent at the checkpoint, present at the crash: insert final image.
+    Insert(&'a [u8]),
+    /// Present at the checkpoint, still present: overwrite with final image.
+    Update(&'a [u8]),
+    /// Present at the checkpoint, gone at the crash.
+    Delete,
+}
+
+/// One partition's slab of net row effects, borrowed from the log records.
+#[derive(Clone, Debug, Default)]
+pub struct RedoNetEffects<'a> {
+    /// `(table, key, action)` triples in ascending `(table, key)` order.
+    pub ops: Vec<(TableId, i64, NetAction<'a>)>,
+    /// Per-table maximum committed-`Insert` key (even if the row was later
+    /// deleted): sequential redo bumps the auto-key watermark on every
+    /// insert it applies, so net-effect replay must reproduce the bump for
+    /// inserts it elides.
+    pub max_insert_keys: Vec<(TableId, i64)>,
+    /// Committed DML records scanned into this partition — the records
+    /// sequential [`redo_committed`] would have applied one by one.
+    pub dml_records: u64,
+}
+
+/// Scan `records` (one checkpoint's log tail, in LSN order) and fold the
+/// committed DML whose rows hash to partition `part` of `parts` into net
+/// row effects. Pure function of its inputs; safe to run for different
+/// `part` values concurrently over the same borrowed records.
+pub fn partition_net_effects<'a>(
+    records: &[&'a WalRecord],
+    committed: &HashSet<TxnId>,
+    part: usize,
+    parts: usize,
+) -> RedoNetEffects<'a> {
+    use std::collections::HashMap;
+    // Per row: (first committed op was an insert, final image or deleted).
+    type RowNet<'a> = HashMap<(TableId, i64), (bool, Option<&'a [u8]>)>;
+    let mut net: RowNet<'a> = HashMap::new();
+    let mut max_ins: HashMap<TableId, i64> = HashMap::new();
+    let mut dml = 0u64;
+    for r in records {
+        let (table, key, image, is_insert) = match &r.op {
+            WalOp::Insert { table, key, row } => (*table, *key, Some(row.as_slice()), true),
+            WalOp::Update {
+                table, key, after, ..
+            } => (*table, *key, Some(after.as_slice()), false),
+            WalOp::Delete { table, key, .. } => (*table, *key, None, false),
+            _ => continue,
+        };
+        if !committed.contains(&r.txn) || redo_partition(table, key, parts) != part {
+            continue;
+        }
+        dml += 1;
+        if is_insert {
+            let m = max_ins.entry(table).or_insert(key);
+            *m = (*m).max(key);
+        }
+        net.entry((table, key))
+            .and_modify(|slot| slot.1 = image)
+            .or_insert((is_insert, image));
+    }
+    let mut ops: Vec<(TableId, i64, NetAction<'a>)> = net
+        .into_iter()
+        .filter_map(|((table, key), (born, image))| {
+            let action = match (born, image) {
+                (true, Some(img)) => NetAction::Insert(img),
+                (false, Some(img)) => NetAction::Update(img),
+                (false, None) => NetAction::Delete,
+                // Inserted after the checkpoint and deleted again before the
+                // crash: the checkpoint image is already correct.
+                (true, None) => return None,
+            };
+            Some((table, key, action))
+        })
+        .collect();
+    ops.sort_unstable_by_key(|&(t, k, _)| (t, k));
+    let mut max_insert_keys: Vec<(TableId, i64)> = max_ins.into_iter().collect();
+    max_insert_keys.sort_unstable();
+    RedoNetEffects {
+        ops,
+        max_insert_keys,
+        dml_records: dml,
+    }
+}
+
+/// A globally `(table, key)`-sorted redo plan merged from every partition.
+#[derive(Clone, Debug, Default)]
+pub struct RedoPlan<'a> {
+    /// All partitions' net effects in one ascending `(table, key)` stream.
+    pub ops: Vec<(TableId, i64, NetAction<'a>)>,
+    /// Per-table auto-key watermarks folded across partitions.
+    pub max_insert_keys: Vec<(TableId, i64)>,
+    /// Total committed DML records scanned (sequential redo's apply count).
+    pub dml_records: u64,
+}
+
+/// Merge per-partition net effects into one plan. Keys are disjoint across
+/// partitions, so concatenation plus one sort yields a total order that is
+/// independent of both the partition count and the worker count: parallelism
+/// decides who *scanned* the log, never what gets applied or in which order.
+/// That is the whole determinism argument — the applied plan is a pure
+/// function of the log.
+pub fn merge_net_effects<'a>(parts: Vec<RedoNetEffects<'a>>) -> RedoPlan<'a> {
+    use std::collections::HashMap;
+    let mut ops = Vec::with_capacity(parts.iter().map(|p| p.ops.len()).sum());
+    let mut max_ins: HashMap<TableId, i64> = HashMap::new();
+    let mut dml = 0u64;
+    for p in parts {
+        dml += p.dml_records;
+        ops.extend(p.ops);
+        for (t, k) in p.max_insert_keys {
+            let m = max_ins.entry(t).or_insert(k);
+            *m = (*m).max(k);
+        }
+    }
+    ops.sort_unstable_by_key(|&(t, k, _)| (t, k));
+    let mut max_insert_keys: Vec<(TableId, i64)> = max_ins.into_iter().collect();
+    max_insert_keys.sort_unstable();
+    RedoPlan {
+        ops,
+        max_insert_keys,
+        dml_records: dml,
+    }
+}
+
+/// Apply a merged redo plan to `db` (base = the checkpoint image the plan
+/// was computed against). Ascending-key inserts ride the B-tree's
+/// [`BatchIngest`](crate::btree::BatchIngest) right-edge cursor; updates and
+/// deletes invalidate it (they can restructure the leaf under the cursor).
+/// Returns the plan's committed-DML count, matching [`redo_committed`]'s
+/// return value for the same log tail.
+pub fn apply_redo_plan(db: &mut Database, plan: &RedoPlan<'_>) -> u64 {
+    use crate::btree::{AccessLog, BatchIngest};
+    let mut alog = AccessLog::new();
+    let mut cur = BatchIngest::new();
+    let mut cur_table: Option<TableId> = None;
+    for &(table, key, ref action) in &plan.ops {
+        if cur_table != Some(table) {
+            cur.invalidate();
+            cur_table = Some(table);
+        }
+        match *action {
+            NetAction::Insert(img) => {
+                db.apply_insert_raw_batched(table, key, img, &mut cur, &mut alog)
+            }
+            NetAction::Update(img) => {
+                cur.invalidate();
+                db.apply_update_raw(table, key, img, &mut alog);
+            }
+            NetAction::Delete => {
+                cur.invalidate();
+                db.apply_delete_raw(table, key, &mut alog);
+            }
+        }
+    }
+    for &(table, key) in &plan.max_insert_keys {
+        db.bump_auto_key(table, key);
+    }
+    plan.dml_records
 }
 
 /// ARIES undo pass, applied *in place* to a database that still carries the
@@ -137,37 +338,8 @@ pub fn undo_losers(db: &mut Database, records: &[WalRecord]) -> u64 {
 /// eagerly before the crash, so it needs no further undo even if the abort
 /// record itself was torn away.
 pub fn undo_losers_durable(db: &mut Database, records: &[WalRecord], durable_len: usize) -> u64 {
-    use crate::btree::AccessLog;
-    let durable_len = durable_len.min(records.len());
-    let finished: HashSet<TxnId> = records[..durable_len]
-        .iter()
-        .filter(|r| matches!(r.op, WalOp::Commit))
-        .chain(records.iter().filter(|r| matches!(r.op, WalOp::Abort)))
-        .map(|r| r.txn)
-        .collect();
-    let mut alog = AccessLog::new();
-    let mut undone = 0u64;
-    for r in records.iter().rev() {
-        if !r.op.is_dml() || finished.contains(&r.txn) {
-            continue;
-        }
-        match &r.op {
-            WalOp::Insert { table, key, .. } => {
-                db.apply_delete_raw(*table, *key, &mut alog);
-            }
-            WalOp::Update {
-                table, key, before, ..
-            } => {
-                db.apply_update_raw(*table, *key, before, &mut alog);
-            }
-            WalOp::Delete { table, key, before } => {
-                db.apply_insert_raw(*table, *key, before, &mut alog);
-            }
-            _ => unreachable!("is_dml filtered"),
-        }
-        undone += 1;
-    }
-    undone
+    let refs: Vec<&WalRecord> = records.iter().collect();
+    db.undo_refs(&refs, durable_len)
 }
 
 /// Rebuild a database from a base snapshot constructor plus the full WAL —
@@ -187,7 +359,7 @@ mod tests {
     use crate::exec::{CostModel, ExecCtx};
     use crate::value::{ColumnDef, DataType, Row, Schema, Value};
     use cb_sim::{Device, DeviceKind, SimDuration, SimTime};
-    use cb_store::{StorageArch, StorageService};
+    use cb_store::{decode_record, encode_segment_into, StorageArch, StorageService};
 
     fn storage() -> StorageService {
         StorageService::new(
@@ -307,8 +479,8 @@ mod tests {
             db.delete(&mut ctx, &mut loser, t, 4);
             std::mem::forget(loser);
         }
-        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
-        let undone = undo_losers(&mut db, &records);
+        // In-place undo over the db's own segmented log — no tail copy.
+        let undone = db.undo_losers_in_place(Lsn::ZERO, usize::MAX);
         assert_eq!(undone, 3);
         // The repaired image equals base + committed work only.
         let expected = rebuild(base, db.log());
@@ -333,15 +505,18 @@ mod tests {
                 .unwrap();
             db.commit(&mut ctx, txn);
         }
-        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
-        assert!(matches!(records.last().unwrap().op, WalOp::Commit));
+        let n = db.log().records_after(Lsn::ZERO).len();
+        assert!(matches!(
+            db.log().records_after(Lsn::ZERO).last().unwrap().op,
+            WalOp::Commit
+        ));
         // Full-tail undo sees the commit and keeps the changes...
         let committed_image = db.dump_table(t);
-        assert_eq!(undo_losers_durable(&mut db, &records, records.len()), 0);
+        assert_eq!(db.undo_losers_in_place(Lsn::ZERO, n), 0);
         assert_eq!(db.dump_table(t), committed_image);
         // ...but with the commit record past the durable horizon, both DML
         // records roll back and the image returns to base.
-        let undone = undo_losers_durable(&mut db, &records, records.len() - 1);
+        let undone = db.undo_losers_in_place(Lsn::ZERO, n - 1);
         assert_eq!(undone, 2);
         assert_eq!(db.dump_table(t), base().dump_table(t));
     }
@@ -357,9 +532,8 @@ mod tests {
         let mut txn = db.begin();
         db.insert(&mut ctx, &mut txn, t, row(30, 300)).unwrap();
         db.abort(&mut ctx, txn);
-        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
         let before = db.dump_table(t);
-        assert_eq!(undo_losers(&mut db, &records), 0);
+        assert_eq!(db.undo_losers_in_place(Lsn::ZERO, usize::MAX), 0);
         assert_eq!(db.dump_table(t), before);
     }
 
@@ -416,9 +590,11 @@ mod tests {
         assert_eq!(a.loser_txns, 0);
         assert!(a.scanned >= 4, "begin + 2 DML + abort are still scanned");
         // In-place undo finds nothing either, and replay matches the live db.
-        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
+        // Cross-db undo borrows records out of `db`'s log while repairing
+        // `crashed` — disjoint databases, so no copy is needed.
+        let records: Vec<&WalRecord> = db.log().records_after(Lsn::ZERO).collect();
         let mut crashed = base();
-        assert_eq!(undo_losers(&mut crashed, &records), 0);
+        assert_eq!(crashed.undo_refs(&records, records.len()), 0);
         let rebuilt = rebuild(base, db.log());
         assert_eq!(rebuilt.dump_table(t), db.dump_table(t));
     }
@@ -442,8 +618,11 @@ mod tests {
         assert_eq!(a.redo_records, 3);
         assert_eq!(a.undo_records, 0);
         assert_eq!(a.loser_txns, 0);
-        let records: Vec<_> = db.log().records_after(Lsn::ZERO).to_vec();
-        assert_eq!(undo_losers(&mut db, &records), 0, "nothing to undo");
+        assert_eq!(
+            db.undo_losers_in_place(Lsn::ZERO, usize::MAX),
+            0,
+            "nothing to undo"
+        );
         let rebuilt = rebuild(base, db.log());
         assert_eq!(rebuilt.dump_table(t), db.dump_table(t));
     }
@@ -482,5 +661,300 @@ mod tests {
         let full = analyze(db.log(), Lsn::ZERO);
         assert!(full.scanned > a.scanned);
         assert_eq!(full.redo_records, 3);
+    }
+
+    // --- Partitioned net-effect redo -----------------------------------------
+
+    /// Mixed workload: committed insert/update/delete chains (including
+    /// insert-then-delete and insert-then-update on the same key), a clean
+    /// abort, and a loser in flight at the crash.
+    fn mixed_log() -> Database {
+        let mut db = base();
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+        let mut txn = db.begin();
+        for i in 11..=30 {
+            db.insert(&mut ctx, &mut txn, t, row(i, i)).unwrap();
+        }
+        db.update(&mut ctx, &mut txn, t, 1, |r| r.values[1] = Value::Int(111))
+            .unwrap();
+        db.update(&mut ctx, &mut txn, t, 15, |r| r.values[1] = Value::Int(222))
+            .unwrap();
+        db.delete(&mut ctx, &mut txn, t, 2); // present at base -> net delete
+        db.delete(&mut ctx, &mut txn, t, 30); // inserted above -> net no-op
+        db.commit(&mut ctx, txn);
+        let mut ab = db.begin();
+        db.insert(&mut ctx, &mut ab, t, row(90, 900)).unwrap();
+        db.abort(&mut ctx, ab);
+        let mut loser = db.begin();
+        db.insert(&mut ctx, &mut loser, t, row(91, 910)).unwrap();
+        db.update(&mut ctx, &mut loser, t, 3, |r| r.values[1] = Value::Int(-3))
+            .unwrap();
+        std::mem::forget(loser);
+        db
+    }
+
+    #[test]
+    fn partitioned_net_effect_replay_matches_sequential_redo() {
+        let db = mixed_log();
+        let t = db.table_id("t").unwrap();
+        let refs: Vec<&WalRecord> = db.log().records_after(Lsn::ZERO).collect();
+        let committed = committed_txns(refs.iter().copied());
+        let seq = rebuild(base, db.log());
+        let seq_applied = {
+            let mut fresh = base();
+            redo_committed(&mut fresh, db.log().records_after(Lsn::ZERO))
+        };
+        for parts in [1usize, 3, 8] {
+            let effects: Vec<RedoNetEffects> = (0..parts)
+                .map(|p| partition_net_effects(&refs, &committed, p, parts))
+                .collect();
+            let plan = merge_net_effects(effects);
+            let mut par = base();
+            let applied = apply_redo_plan(&mut par, &plan);
+            assert_eq!(
+                applied, seq_applied,
+                "committed-DML count matches sequential redo ({parts} parts)"
+            );
+            assert_eq!(
+                par.dump_table(t),
+                seq.dump_table(t),
+                "net-effect replay reproduces sequential state ({parts} parts)"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_plan_is_identical_for_any_partition_count() {
+        let db = mixed_log();
+        let refs: Vec<&WalRecord> = db.log().records_after(Lsn::ZERO).collect();
+        let committed = committed_txns(refs.iter().copied());
+        let plan1 = merge_net_effects(
+            (0..1)
+                .map(|p| partition_net_effects(&refs, &committed, p, 1))
+                .collect(),
+        );
+        for parts in [2usize, 5, 16] {
+            let plan = merge_net_effects(
+                (0..parts)
+                    .map(|p| partition_net_effects(&refs, &committed, p, parts))
+                    .collect(),
+            );
+            assert_eq!(plan.ops, plan1.ops, "{parts} partitions");
+            assert_eq!(plan.max_insert_keys, plan1.max_insert_keys);
+            assert_eq!(plan.dml_records, plan1.dml_records);
+        }
+    }
+
+    #[test]
+    fn net_effect_plan_collapses_per_row_histories() {
+        let db = mixed_log();
+        let t = db.table_id("t").unwrap();
+        let refs: Vec<&WalRecord> = db.log().records_after(Lsn::ZERO).collect();
+        let committed = committed_txns(refs.iter().copied());
+        let plan = merge_net_effects(vec![partition_net_effects(&refs, &committed, 0, 1)]);
+        // Inserted-then-deleted key 30 vanishes from the plan entirely;
+        // inserted-then-updated key 15 nets to a single Insert of the final
+        // image; base-resident key 1 nets to an Update; key 2 to a Delete.
+        let find = |k: i64| plan.ops.iter().find(|&&(pt, pk, _)| pt == t && pk == k);
+        assert!(find(30).is_none(), "insert+delete cancels");
+        assert!(matches!(find(15), Some((_, _, NetAction::Insert(_)))));
+        assert!(matches!(find(1), Some((_, _, NetAction::Update(_)))));
+        assert!(matches!(find(2), Some((_, _, NetAction::Delete))));
+        // Loser txn 91 and cleanly aborted 90 are absent.
+        assert!(find(90).is_none());
+        assert!(find(91).is_none());
+        // The plan is strictly sorted by (table, key).
+        assert!(plan
+            .ops
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        // Auto-key watermark still covers the deleted key 30.
+        assert_eq!(plan.max_insert_keys, vec![(t, 30)]);
+    }
+
+    /// One single-insert committed txn: exactly three records
+    /// (Begin, Insert, Commit).
+    fn commit_one(db: &mut Database, ctx: &mut ExecCtx, t: TableId, k: i64) {
+        let mut txn = db.begin();
+        db.insert(ctx, &mut txn, t, row(k, k * 10)).unwrap();
+        db.commit(ctx, txn);
+    }
+
+    #[test]
+    fn crash_exactly_at_a_segment_seal_loses_whole_young_segment() {
+        // Segment capacity 3 = one single-insert txn per segment, so every
+        // commit lands flush against a segment boundary.
+        let mut db = base();
+        *db.log_mut() = LogStore::with_segment_capacity(3);
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+        for k in 11..=14 {
+            commit_one(&mut db, &mut ctx, t, k);
+        }
+        assert_eq!(db.log().head(), Lsn(12), "4 txns x 3 records");
+        assert_eq!(db.log().segment_count(), 4, "tail is full but unsealed");
+
+        // A fifth txn seals the full tail and opens a young segment...
+        commit_one(&mut db, &mut ctx, t, 15);
+        assert_eq!(db.log().segment_count(), 5);
+        // ...and the crash hits with the durable horizon exactly at the
+        // seal: nothing in the young segment reached storage.
+        assert_eq!(db.log_mut().discard_after(Lsn(12)), 3);
+        assert_eq!(db.log().head(), Lsn(12));
+        assert_eq!(db.log().segment_count(), 4, "young segment popped whole");
+        assert_eq!(db.log().recycled_segments(), 1, "its buffer is recycled");
+
+        // Recovery from the durable log: the sealed history replays, the
+        // lost txn does not.
+        let rebuilt = rebuild(base, db.log());
+        let mut expected = base();
+        {
+            let mut pool2 = BufferPool::new(256);
+            let mut st2 = storage();
+            let mut ctx2 = ExecCtx::new(SimTime::ZERO, &mut pool2, None, &mut st2, &model);
+            let et = expected.table_id("t").unwrap();
+            for k in 11..=14 {
+                commit_one(&mut expected, &mut ctx2, et, k);
+            }
+        }
+        assert_eq!(rebuilt.dump_table(t), expected.dump_table(t));
+
+        // The resurrected log resumes the LSN sequence in a fresh segment
+        // cut from the recycle pool.
+        assert_eq!(db.log_mut().append(TxnId(99), WalOp::Begin), Lsn(13));
+        assert_eq!(db.log().segment_count(), 5);
+        assert_eq!(db.log().recycled_segments(), 0, "recycled buffer reused");
+    }
+
+    #[test]
+    fn torn_tail_in_a_recycled_segment_recovers_to_the_durable_prefix() {
+        let mut db = base();
+        *db.log_mut() = LogStore::with_segment_capacity(3);
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+        for k in 11..=13 {
+            commit_one(&mut db, &mut ctx, t, k);
+        }
+        // Replica provisioned from the LSN-9 snapshot, then the primary
+        // truncates its whole history (all replicas acked), recycling the
+        // dead segments.
+        let replica_base = rebuild(base, db.log());
+        db.log_mut().truncate_through(Lsn(9));
+        assert_eq!(db.log().recycled_segments(), 2);
+
+        // New traffic reopens the log; the second txn's records spill into
+        // a segment carved from the recycle pool.
+        commit_one(&mut db, &mut ctx, t, 14);
+        commit_one(&mut db, &mut ctx, t, 15);
+        assert_eq!(
+            db.log().recycled_segments(),
+            1,
+            "active tail is a recycled buffer"
+        );
+
+        // The crash tears the last byte of the wire image mid-frame: txn
+        // 15's Commit never fully lands.
+        let mut wire = Vec::new();
+        encode_segment_into(db.log().records_after(Lsn(9)), &mut wire);
+        let torn = &wire[..wire.len() - 1];
+        let mut survivors = Vec::new();
+        let mut pos = 0usize;
+        while let Ok((rec, next)) = decode_record(torn, pos) {
+            survivors.push(rec);
+            pos = next;
+        }
+        assert_eq!(survivors.len(), 5, "final Commit frame torn away");
+
+        // Replica-side recovery: redo the committed prefix of the torn
+        // tail. Txn 15 has no durable Commit, so it is simply not redone.
+        let mut replica = replica_base;
+        redo_committed(&mut replica, &survivors);
+
+        // Primary-side recovery: drop the torn record, then undo the loser
+        // in place against the durable horizon.
+        db.log_mut().discard_after(Lsn(14));
+        db.undo_losers_in_place(Lsn(9), usize::MAX);
+
+        assert_eq!(db.dump_table(t), replica.dump_table(t));
+        let keys: Vec<Value> = db
+            .dump_table(t)
+            .iter()
+            .map(|r| r.values[0].clone())
+            .collect();
+        assert!(
+            keys.contains(&Value::Int(14)),
+            "durably committed txn survives"
+        );
+        assert!(
+            !keys.contains(&Value::Int(15)),
+            "torn-commit txn rolled back"
+        );
+    }
+
+    #[test]
+    fn checkpoint_mid_segment_bounds_the_recovery_window() {
+        let mut db = base();
+        *db.log_mut() = LogStore::with_segment_capacity(5);
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        {
+            let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+            commit_one(&mut db, &mut ctx, t, 11);
+            commit_one(&mut db, &mut ctx, t, 12);
+        }
+        let (ckpt, _, _) = db.checkpoint(&mut pool, &mut st, SimTime::ZERO);
+        assert_eq!(ckpt, Lsn(7));
+        assert_ne!(ckpt.0 % 5, 0, "checkpoint lands mid-segment");
+        // The replica a restore would bootstrap from: state as of the
+        // checkpoint.
+        let replica_base = rebuild(base, db.log());
+
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+        commit_one(&mut db, &mut ctx, t, 13);
+        // Checkpoint truncation drops only whole dead segments; the one
+        // straddling the checkpoint keeps its live suffix in place.
+        db.log_mut().truncate_through(ckpt);
+        assert_eq!(db.log().segment_count(), 1);
+        assert_eq!(db.log().oldest_retained(), Some(Lsn(8)));
+        assert_eq!(db.log().retained(), 3);
+
+        // An in-flight txn at the crash; its records reopen a recycled
+        // segment past the straddler.
+        let mut loser = db.begin();
+        db.insert(&mut ctx, &mut loser, t, row(14, 140)).unwrap();
+        std::mem::forget(loser);
+        assert_eq!(db.log().segment_count(), 2);
+
+        // Analysis scans only the post-checkpoint window.
+        let a = analyze(db.log(), db.last_checkpoint());
+        assert_eq!(a.scanned, 5);
+        assert_eq!(a.redo_records, 1);
+        assert_eq!(a.undo_records, 1);
+        assert_eq!(a.loser_txns, 1);
+
+        // Replica redo from the checkpoint + in-place undo on the primary
+        // converge on the same state.
+        let mut replica = replica_base;
+        redo_committed(&mut replica, db.log().records_after(ckpt));
+        db.undo_losers_in_place(ckpt, usize::MAX);
+        assert_eq!(db.dump_table(t), replica.dump_table(t));
+        let keys: Vec<Value> = db
+            .dump_table(t)
+            .iter()
+            .map(|r| r.values[0].clone())
+            .collect();
+        assert!(keys.contains(&Value::Int(13)) && !keys.contains(&Value::Int(14)));
     }
 }

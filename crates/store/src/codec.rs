@@ -65,8 +65,7 @@ fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
-fn body(rec: &WalRecord) -> Vec<u8> {
-    let mut b = Vec::with_capacity(32);
+fn body_into(rec: &WalRecord, b: &mut Vec<u8>) {
     b.extend_from_slice(&rec.lsn.0.to_le_bytes());
     b.extend_from_slice(&rec.txn.0.to_le_bytes());
     match &rec.op {
@@ -75,7 +74,7 @@ fn body(rec: &WalRecord) -> Vec<u8> {
             b.push(TAG_INSERT);
             b.extend_from_slice(&table.0.to_le_bytes());
             b.extend_from_slice(&key.to_le_bytes());
-            put_bytes(&mut b, row);
+            put_bytes(b, row);
         }
         WalOp::Update {
             table,
@@ -86,14 +85,14 @@ fn body(rec: &WalRecord) -> Vec<u8> {
             b.push(TAG_UPDATE);
             b.extend_from_slice(&table.0.to_le_bytes());
             b.extend_from_slice(&key.to_le_bytes());
-            put_bytes(&mut b, before);
-            put_bytes(&mut b, after);
+            put_bytes(b, before);
+            put_bytes(b, after);
         }
         WalOp::Delete { table, key, before } => {
             b.push(TAG_DELETE);
             b.extend_from_slice(&table.0.to_le_bytes());
             b.extend_from_slice(&key.to_le_bytes());
-            put_bytes(&mut b, before);
+            put_bytes(b, before);
         }
         WalOp::Commit => b.push(TAG_COMMIT),
         WalOp::Abort => b.push(TAG_ABORT),
@@ -102,16 +101,30 @@ fn body(rec: &WalRecord) -> Vec<u8> {
             b.extend_from_slice(&dirty_pages.to_le_bytes());
         }
     }
-    b
+}
+
+/// Append one record's framed byte sequence to `out`.
+///
+/// The scratch-buffer encode path: the frame (length header, CRC, body) is
+/// written directly into `out` with no intermediate per-record `Vec` — the
+/// length and CRC are back-patched once the body's extent is known. Callers
+/// that encode many records (log shipping, crash-time tail capture) reuse
+/// one buffer across records and crashes.
+pub fn encode_record_into(rec: &WalRecord, out: &mut Vec<u8>) {
+    let frame_start = out.len();
+    out.extend_from_slice(&[0u8; 8]); // length + CRC placeholders
+    let body_start = out.len();
+    body_into(rec, out);
+    let body_len = (out.len() - body_start) as u32;
+    let crc = crc32(&out[body_start..]);
+    out[frame_start..frame_start + 4].copy_from_slice(&body_len.to_le_bytes());
+    out[frame_start + 4..frame_start + 8].copy_from_slice(&crc.to_le_bytes());
 }
 
 /// Encode one record as a framed byte sequence.
 pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
-    let body = body(rec);
-    let mut out = Vec::with_capacity(body.len() + 8);
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(&body).to_le_bytes());
-    out.extend_from_slice(&body);
+    let mut out = Vec::with_capacity(40);
+    encode_record_into(rec, &mut out);
     out
 }
 
@@ -198,12 +211,24 @@ pub fn decode_record(bytes: &[u8], offset: usize) -> Result<(WalRecord, usize), 
     Ok((WalRecord { lsn, txn, op }, end))
 }
 
+/// Append a run of records' frames to `out` (scratch-buffer segment encode).
+///
+/// Frames concatenate directly — segment framing adds no per-record bytes
+/// beyond the record frames themselves, which is what keeps
+/// [`WalRecord::approx_bytes`] an honest wire-size estimate.
+pub fn encode_segment_into<'a>(
+    records: impl IntoIterator<Item = &'a WalRecord>,
+    out: &mut Vec<u8>,
+) {
+    for r in records {
+        encode_record_into(r, out);
+    }
+}
+
 /// Encode a run of records into one shipped segment.
 pub fn encode_segment(records: &[WalRecord]) -> Vec<u8> {
     let mut out = Vec::new();
-    for r in records {
-        out.extend_from_slice(&encode_record(r));
-    }
+    encode_segment_into(records, &mut out);
     out
 }
 
@@ -330,15 +355,49 @@ mod tests {
 
     #[test]
     fn wire_size_tracks_approx_bytes() {
+        // The estimate undercounts the real frame by an exact per-variant
+        // constant (frame overhead + tag/blob-length bytes the estimate
+        // rounds away). Segment framing adds nothing per record — frames
+        // concatenate — so these deltas are the whole story for C-score
+        // IOPS/bandwidth metering. Pinned exactly: any change to the frame
+        // layout or to `approx_bytes` must update this table consciously.
         for rec in sample() {
             let wire = encode_record(&rec).len() as u64;
             let approx = rec.approx_bytes();
-            // The estimate is within a small constant of the real frame.
-            assert!(
-                wire.abs_diff(approx) <= 24,
+            let expected_delta = match &rec.op {
+                WalOp::Begin | WalOp::Commit | WalOp::Abort => 1,
+                WalOp::Insert { .. } | WalOp::Delete { .. } => 5,
+                WalOp::Update { .. } => 9,
+                WalOp::Checkpoint { .. } => 1,
+            };
+            assert_eq!(
+                wire,
+                approx + expected_delta,
                 "{:?}: wire {wire} vs approx {approx}",
                 rec.op
             );
         }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_scratch() {
+        let records = sample();
+        let mut scratch = Vec::new();
+        for rec in &records {
+            scratch.clear();
+            scratch.extend_from_slice(b"prefix"); // appends, never clobbers
+            encode_record_into(rec, &mut scratch);
+            assert_eq!(&scratch[..6], b"prefix");
+            assert_eq!(&scratch[6..], &encode_record(rec)[..]);
+        }
+        // Segment encode into a reused buffer is identical to the owned form.
+        let owned = encode_segment(&records);
+        scratch.clear();
+        encode_segment_into(records.iter(), &mut scratch);
+        assert_eq!(scratch, owned);
+        let cap_before = scratch.capacity();
+        scratch.clear();
+        encode_segment_into(records.iter(), &mut scratch);
+        assert_eq!(scratch.capacity(), cap_before, "no reallocation on reuse");
     }
 }

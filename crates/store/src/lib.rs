@@ -5,7 +5,8 @@
 //! * [`page`] — fixed 8 KB pages, little-endian accessors, and the canonical
 //!   [`PageStore`] that owns page content for the whole cluster.
 //! * [`wal`] — logical WAL records with before/after images, the append-only
-//!   [`LogStore`] with checkpoint truncation.
+//!   segmented [`LogStore`]: preallocated recyclable tail segments, whole-
+//!   segment checkpoint truncation, borrowing record/slab iterators.
 //! * [`service`] — [`StorageService`]: the cost model of each storage
 //!   topology (coupled, smart storage with redo pushdown, log/page split,
 //!   safekeeper+pageserver, memory disaggregation).
@@ -22,8 +23,13 @@ pub mod page;
 pub mod service;
 pub mod wal;
 
-pub use codec::{crc32, decode_record, decode_segment, encode_record, encode_segment, CodecError};
+pub use codec::{
+    crc32, decode_record, decode_segment, encode_record, encode_record_into, encode_segment,
+    encode_segment_into, CodecError,
+};
 pub use group_commit::{CommitAck, DurabilityAck, GroupCommit, GroupCommitConfig};
 pub use page::{PageBuf, PageId, PageStore, PAGE_SIZE};
 pub use service::{StorageArch, StorageService};
-pub use wal::{LogStore, Lsn, TableId, TxnId, WalOp, WalRecord};
+pub use wal::{
+    LogStore, Lsn, RecordsAfter, Slabs, TableId, TxnId, WalOp, WalRecord, DEFAULT_SEGMENT_RECORDS,
+};

@@ -1,4 +1,4 @@
-//! Write-ahead log records and the log store.
+//! Write-ahead log records and the segmented log store.
 //!
 //! WAL records carry *logical* before/after images, which serves three
 //! masters at once: ARIES-style recovery can redo and undo them, replicas
@@ -6,7 +6,15 @@
 //! become visible), and storage services that push redo processing down
 //! (Aurora-style) can count exactly how much replay work moved off the
 //! compute tier.
+//!
+//! The store keeps records in fixed-capacity *segments* rather than one
+//! monolithic `Vec`: appends always land in the preallocated active tail
+//! (no growth reallocation ever copies old records), checkpoint truncation
+//! drops whole sealed segments from the front instead of shifting every
+//! survivor left, and freed segment buffers are recycled for future tails.
+//! This mirrors how production WALs manage preallocated segment files.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Transaction identifier.
@@ -105,7 +113,10 @@ pub struct WalRecord {
 
 impl WalRecord {
     /// Approximate on-wire size in bytes (header + payload images), used for
-    /// log-shipping bandwidth costs.
+    /// log-shipping bandwidth costs. Segment framing adds no per-record
+    /// bytes on top of the codec frame (frames concatenate directly), so
+    /// these values track the wire format within a fixed per-variant delta —
+    /// pinned exactly by the `wire_size_tracks_approx_bytes` codec test.
     pub fn approx_bytes(&self) -> u64 {
         let header = 24u64;
         let payload = match &self.op {
@@ -119,69 +130,207 @@ impl WalRecord {
     }
 }
 
-/// An append-only log with truncation at checkpoints.
+/// Records per segment. Large enough that segment crossings are rare on the
+/// append path, small enough that checkpoint truncation frees memory promptly.
+pub const DEFAULT_SEGMENT_RECORDS: usize = 1024;
+
+/// How many freed segment buffers the store keeps around for reuse.
+const RECYCLE_POOL_CAP: usize = 4;
+
+/// One log segment: a run of dense-LSN records.
 ///
-/// Records before `start_lsn` have been truncated (their effects are durable
-/// in the page store); indexing accounts for the offset.
-#[derive(Default)]
-pub struct LogStore {
+/// `records[i].lsn == base + 1 + i`. Only the last segment (the active
+/// tail) accepts appends; earlier segments are sealed.
+struct Segment {
+    /// LSN immediately before this segment's first record.
+    base: Lsn,
     records: Vec<WalRecord>,
-    /// LSN of the first retained record minus one.
+}
+
+impl Segment {
+    /// LSN of the last record in this segment (== `base` when empty).
+    fn last_lsn(&self) -> Lsn {
+        Lsn(self.base.0 + self.records.len() as u64)
+    }
+}
+
+/// An append-only segmented log with truncation at checkpoints.
+///
+/// Records before `truncated_through` have been truncated (their effects are
+/// durable in the page store); all LSN arithmetic accounts for the offset.
+/// Truncation is lazy within a segment: a partially-truncated front segment
+/// keeps its dead prefix in place (accessors skip it via LSN arithmetic) and
+/// is dropped wholesale once fully covered — no record is ever shifted.
+pub struct LogStore {
+    /// Ordered segments; the last one is the active tail. Never empty.
+    segments: VecDeque<Segment>,
+    /// LSN of the first *live* record minus one.
     truncated_through: Lsn,
+    /// LSN of the most recent record (== `truncated_through` when empty).
+    head: Lsn,
     appended_bytes: u64,
+    /// Freed segment buffers kept for reuse (cleared, capacity preserved).
+    recycled: Vec<Vec<WalRecord>>,
+    segment_cap: usize,
+}
+
+impl Default for LogStore {
+    fn default() -> Self {
+        LogStore::new()
+    }
 }
 
 impl LogStore {
-    /// An empty log.
+    /// An empty log with the default segment capacity.
     pub fn new() -> Self {
-        LogStore::default()
+        LogStore::with_segment_capacity(DEFAULT_SEGMENT_RECORDS)
+    }
+
+    /// An empty log whose segments hold `cap` records each (tests use tiny
+    /// capacities to exercise segment-edge behavior).
+    pub fn with_segment_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "segment capacity must be positive");
+        let mut segments = VecDeque::with_capacity(4);
+        segments.push_back(Segment {
+            base: Lsn::ZERO,
+            records: Vec::with_capacity(cap),
+        });
+        LogStore {
+            segments,
+            truncated_through: Lsn::ZERO,
+            head: Lsn::ZERO,
+            appended_bytes: 0,
+            recycled: Vec::new(),
+            segment_cap: cap,
+        }
+    }
+
+    /// Records per segment for this store.
+    pub fn segment_capacity(&self) -> usize {
+        self.segment_cap
+    }
+
+    /// Number of segments currently held (including the active tail).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Freed segment buffers waiting for reuse.
+    pub fn recycled_segments(&self) -> usize {
+        self.recycled.len()
     }
 
     /// Append an operation for `txn`; returns the assigned LSN.
+    ///
+    /// Always lands in the preallocated active tail; when the tail is full
+    /// it is sealed and a fresh tail is opened from the recycle pool.
     pub fn append(&mut self, txn: TxnId, op: WalOp) -> Lsn {
-        let lsn = self.head().next();
+        let lsn = self.head.next();
         let rec = WalRecord { lsn, txn, op };
         self.appended_bytes += rec.approx_bytes();
-        self.records.push(rec);
+        let tail = self.segments.back_mut().expect("log has a tail segment");
+        if tail.records.len() < self.segment_cap {
+            tail.records.push(rec);
+        } else {
+            let mut records = self.recycled.pop().unwrap_or_default();
+            records.reserve_exact(self.segment_cap.saturating_sub(records.capacity()));
+            records.push(rec);
+            self.segments.push_back(Segment {
+                base: self.head,
+                records,
+            });
+        }
+        self.head = lsn;
         lsn
     }
 
     /// The LSN of the most recent record (ZERO if empty since birth).
     pub fn head(&self) -> Lsn {
-        self.records
-            .last()
-            .map(|r| r.lsn)
-            .unwrap_or(self.truncated_through)
+        self.head
     }
 
-    /// All retained records with `lsn > after`, in order.
-    pub fn records_after(&self, after: Lsn) -> &[WalRecord] {
+    /// All retained records with `lsn > after`, in order, as a borrowing
+    /// iterator (exact-size, cloneable — no records are copied).
+    pub fn records_after(&self, after: Lsn) -> RecordsAfter<'_> {
         if after < self.truncated_through {
             panic!(
                 "records before {:?} were truncated (requested after {:?})",
                 self.truncated_through, after
             );
         }
-        let skip = (after.0 - self.truncated_through.0) as usize;
-        &self.records[skip.min(self.records.len())..]
+        let mut slabs = self.slabs_after(after);
+        let current = slabs.next().unwrap_or(&[]);
+        RecordsAfter {
+            remaining: self.head.0.saturating_sub(after.0) as usize,
+            current: current.iter(),
+            slabs,
+        }
+    }
+
+    /// The retained records with `lsn > after` as contiguous per-segment
+    /// slices, in order. Partitioned replay iterates these slabs directly.
+    pub fn slabs_after(&self, after: Lsn) -> Slabs<'_> {
+        if after < self.truncated_through {
+            panic!(
+                "records before {:?} were truncated (requested after {:?})",
+                self.truncated_through, after
+            );
+        }
+        // First segment whose last record is past `after`; everything before
+        // it is entirely at or below `after`.
+        let start = self.segments.partition_point(|seg| seg.last_lsn() <= after);
+        Slabs {
+            segments: self.segments.range(start..),
+            after,
+        }
     }
 
     /// Fetch one record by LSN if retained.
     pub fn get(&self, lsn: Lsn) -> Option<&WalRecord> {
-        if lsn <= self.truncated_through || lsn > self.head() {
+        if lsn <= self.truncated_through || lsn > self.head {
             return None;
         }
-        Some(&self.records[(lsn.0 - self.truncated_through.0 - 1) as usize])
+        // Fast path: the hot caller fetches the record it just appended,
+        // which lives in the active tail.
+        let tail = self.segments.back().expect("log has a tail segment");
+        let seg = if lsn > tail.base {
+            tail
+        } else {
+            let idx = self.segments.partition_point(|seg| seg.last_lsn() < lsn);
+            &self.segments[idx]
+        };
+        Some(&seg.records[(lsn.0 - seg.base.0 - 1) as usize])
     }
 
     /// Drop all records with `lsn <= through` (checkpoint truncation).
+    ///
+    /// Whole dead segments are dropped from the front and their buffers
+    /// recycled; a segment straddling `through` stays put with its dead
+    /// prefix skipped lazily. O(segments dropped), never shifts records.
     pub fn truncate_through(&mut self, through: Lsn) {
         if through <= self.truncated_through {
             return;
         }
-        let keep_from = (through.0 - self.truncated_through.0).min(self.records.len() as u64);
-        self.records.drain(..keep_from as usize);
         self.truncated_through = through;
+        if through >= self.head {
+            // Everything is dead: reset to a single empty tail based at
+            // `through` so the next append continues the sequence from there.
+            self.head = through;
+            while self.segments.len() > 1 {
+                let seg = self.segments.pop_front().expect("len checked");
+                self.recycle(seg.records);
+            }
+            let tail = self.segments.back_mut().expect("log has a tail segment");
+            tail.base = through;
+            tail.records.clear();
+            return;
+        }
+        while self.segments.len() > 1
+            && self.segments.front().expect("len checked").last_lsn() <= through
+        {
+            let seg = self.segments.pop_front().expect("len checked");
+            self.recycle(seg.records);
+        }
     }
 
     /// Crash simulation: drop every record with `lsn > after` — the
@@ -191,7 +340,7 @@ impl LogStore {
     /// would. `appended_bytes` is *not* rewound: it counts bytes ever
     /// submitted, which is what bandwidth statistics want.
     pub fn discard_after(&mut self, after: Lsn) -> u64 {
-        if after >= self.head() {
+        if after >= self.head {
             return 0;
         }
         assert!(
@@ -200,15 +349,23 @@ impl LogStore {
             after,
             self.truncated_through
         );
-        let keep = (after.0 - self.truncated_through.0) as usize;
-        let dropped = self.records.len() - keep;
-        self.records.truncate(keep);
-        dropped as u64
+        let dropped = self.head.0 - after.0;
+        // Pop whole dead tail segments, then cut within the survivor. The
+        // surviving segment re-opens as the (possibly short) active tail.
+        while self.segments.len() > 1 && self.segments.back().expect("len checked").base >= after {
+            let seg = self.segments.pop_back().expect("len checked");
+            self.recycle(seg.records);
+        }
+        let tail = self.segments.back_mut().expect("log has a tail segment");
+        tail.records
+            .truncate(after.0.saturating_sub(tail.base.0) as usize);
+        self.head = after;
+        dropped
     }
 
-    /// Number of retained records.
+    /// Number of retained (live) records.
     pub fn retained(&self) -> usize {
-        self.records.len()
+        (self.head.0 - self.truncated_through.0) as usize
     }
 
     /// Total bytes ever appended (for log-volume statistics).
@@ -218,7 +375,69 @@ impl LogStore {
 
     /// First LSN still retained, if any.
     pub fn oldest_retained(&self) -> Option<Lsn> {
-        self.records.first().map(|r| r.lsn)
+        (self.head > self.truncated_through).then(|| self.truncated_through.next())
+    }
+
+    fn recycle(&mut self, mut records: Vec<WalRecord>) {
+        if self.recycled.len() < RECYCLE_POOL_CAP {
+            records.clear();
+            self.recycled.push(records);
+        }
+    }
+}
+
+/// Borrowing iterator over retained records past a given LSN.
+///
+/// Exact-size (LSNs are dense) and cloneable, so redo passes can walk the
+/// log twice without materializing an owned `Vec`.
+#[derive(Clone)]
+pub struct RecordsAfter<'a> {
+    remaining: usize,
+    current: std::slice::Iter<'a, WalRecord>,
+    slabs: Slabs<'a>,
+}
+
+impl<'a> Iterator for RecordsAfter<'a> {
+    type Item = &'a WalRecord;
+
+    fn next(&mut self) -> Option<&'a WalRecord> {
+        loop {
+            if let Some(rec) = self.current.next() {
+                self.remaining -= 1;
+                return Some(rec);
+            }
+            self.current = self.slabs.next()?.iter();
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RecordsAfter<'_> {}
+
+/// Iterator over contiguous per-segment record slices past a given LSN.
+#[derive(Clone)]
+pub struct Slabs<'a> {
+    segments: std::collections::vec_deque::Iter<'a, Segment>,
+    after: Lsn,
+}
+
+impl<'a> Iterator for Slabs<'a> {
+    type Item = &'a [WalRecord];
+
+    fn next(&mut self) -> Option<&'a [WalRecord]> {
+        for seg in self.segments.by_ref() {
+            // Only the first yielded segment can straddle `after`; later
+            // segments start past it and the skip computes to zero.
+            let skip = self.after.0.saturating_sub(seg.base.0) as usize;
+            let slab = &seg.records[skip.min(seg.records.len())..];
+            if !slab.is_empty() {
+                return Some(slab);
+            }
+        }
+        None
     }
 }
 
@@ -232,6 +451,10 @@ mod tests {
             key,
             row: vec![0u8; 32],
         }
+    }
+
+    fn collect(log: &LogStore, after: Lsn) -> Vec<WalRecord> {
+        log.records_after(after).cloned().collect()
     }
 
     #[test]
@@ -253,9 +476,24 @@ mod tests {
             log.append(TxnId(1), insert_op(k));
         }
         assert_eq!(log.records_after(Lsn(2)).len(), 3);
-        assert_eq!(log.records_after(Lsn(2))[0].lsn, Lsn(3));
+        assert_eq!(log.records_after(Lsn(2)).next().unwrap().lsn, Lsn(3));
         assert_eq!(log.records_after(Lsn(5)).len(), 0);
         assert_eq!(log.records_after(Lsn::ZERO).len(), 5);
+    }
+
+    #[test]
+    fn records_after_iterator_is_exact_size_across_segments() {
+        let mut log = LogStore::with_segment_capacity(3);
+        for k in 0..10 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        for after in 0..=10u64 {
+            let iter = log.records_after(Lsn(after));
+            assert_eq!(iter.len(), (10 - after) as usize);
+            let lsns: Vec<u64> = iter.map(|r| r.lsn.0).collect();
+            let want: Vec<u64> = (after + 1..=10).collect();
+            assert_eq!(lsns, want, "after {after}");
+        }
     }
 
     #[test]
@@ -274,6 +512,46 @@ mod tests {
         // Re-truncating earlier is a no-op.
         log.truncate_through(Lsn(2));
         assert_eq!(log.retained(), 7);
+    }
+
+    #[test]
+    fn truncation_drops_and_recycles_whole_segments() {
+        let mut log = LogStore::with_segment_capacity(4);
+        for k in 0..17 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        assert_eq!(log.segment_count(), 5);
+        // LSN 6 lands mid-segment: segment 1 (LSNs 1-4) drops, segment 2
+        // (LSNs 5-8) stays with a dead prefix.
+        log.truncate_through(Lsn(6));
+        assert_eq!(log.segment_count(), 4);
+        assert_eq!(log.recycled_segments(), 1);
+        assert_eq!(log.retained(), 11);
+        assert_eq!(log.oldest_retained(), Some(Lsn(7)));
+        assert_eq!(collect(&log, Lsn(6)).first().unwrap().lsn, Lsn(7));
+        // Truncating everything resets to one empty tail, recycling the rest.
+        log.truncate_through(Lsn(17));
+        assert_eq!(log.segment_count(), 1);
+        assert_eq!(log.retained(), 0);
+        assert_eq!(log.head(), Lsn(17));
+        assert_eq!(log.append(TxnId(2), WalOp::Commit), Lsn(18));
+    }
+
+    #[test]
+    fn sealed_tail_reuses_recycled_buffers() {
+        let mut log = LogStore::with_segment_capacity(2);
+        for k in 0..8 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        log.truncate_through(Lsn(6));
+        let pool = log.recycled_segments();
+        assert!(pool >= 1);
+        // Filling the tail seals it and pulls a recycled buffer.
+        for k in 8..12 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        assert!(log.recycled_segments() < pool);
+        assert_eq!(collect(&log, Lsn(6)).len(), 6);
     }
 
     #[test]
@@ -303,6 +581,22 @@ mod tests {
     }
 
     #[test]
+    fn get_by_lsn_across_segments() {
+        let mut log = LogStore::with_segment_capacity(3);
+        for k in 0..11 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        for lsn in 1..=11u64 {
+            let rec = log.get(Lsn(lsn)).expect("retained");
+            assert_eq!(rec.lsn, Lsn(lsn));
+        }
+        log.truncate_through(Lsn(4));
+        assert!(log.get(Lsn(4)).is_none());
+        assert_eq!(log.get(Lsn(5)).unwrap().lsn, Lsn(5));
+        assert_eq!(log.get(Lsn(11)).unwrap().lsn, Lsn(11));
+    }
+
+    #[test]
     fn discard_after_drops_the_unflushed_tail() {
         let mut log = LogStore::new();
         for k in 0..8 {
@@ -316,6 +610,23 @@ mod tests {
         // Discarding at or past the head is a no-op.
         assert_eq!(log.discard_after(Lsn(6)), 0);
         assert_eq!(log.discard_after(Lsn(99)), 0);
+    }
+
+    #[test]
+    fn discard_after_pops_whole_tail_segments() {
+        let mut log = LogStore::with_segment_capacity(3);
+        for k in 0..11 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        assert_eq!(log.segment_count(), 4);
+        // Cut back into the second segment: two full segments + the short
+        // tail die, and the survivor re-opens as the active tail.
+        assert_eq!(log.discard_after(Lsn(4)), 7);
+        assert_eq!(log.segment_count(), 2);
+        assert_eq!(log.head(), Lsn(4));
+        assert_eq!(log.append(TxnId(2), WalOp::Commit), Lsn(5));
+        let lsns: Vec<u64> = log.records_after(Lsn::ZERO).map(|r| r.lsn.0).collect();
+        assert_eq!(lsns, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -340,6 +651,23 @@ mod tests {
         }
         log.truncate_through(Lsn(4));
         let _ = log.discard_after(Lsn(2));
+    }
+
+    #[test]
+    fn slabs_are_contiguous_and_cover_the_range() {
+        let mut log = LogStore::with_segment_capacity(4);
+        for k in 0..14 {
+            log.append(TxnId(1), insert_op(k));
+        }
+        log.truncate_through(Lsn(2));
+        let slabs: Vec<&[WalRecord]> = log.slabs_after(Lsn(3)).collect();
+        assert!(slabs.len() >= 3, "expected multiple segment slabs");
+        let flat: Vec<u64> = slabs
+            .iter()
+            .flat_map(|s| s.iter().map(|r| r.lsn.0))
+            .collect();
+        let want: Vec<u64> = (4..=14).collect();
+        assert_eq!(flat, want);
     }
 
     #[test]

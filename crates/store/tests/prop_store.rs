@@ -34,6 +34,82 @@ proptest! {
         }
     }
 
+    /// The segmented log is observationally equivalent to a flat
+    /// `Vec<WalRecord>` model under any interleaving of appends,
+    /// checkpoint truncations, and crash discards — with a tiny segment
+    /// capacity so every few operations cross a seal, recycle, or
+    /// mid-segment boundary.
+    #[test]
+    fn segmented_log_matches_flat_vec_model(
+        cap in 1usize..6,
+        ops in prop::collection::vec((0u8..4, 0u64..8, 0i64..100, 0usize..64), 1..300),
+    ) {
+        use cb_store::WalRecord;
+
+        let mut log = LogStore::with_segment_capacity(cap);
+        // Model: every record ever appended, indexed by lsn - 1, plus the
+        // truncation horizon. (`discard_after` pops; `truncate_through`
+        // only moves the horizon.)
+        let mut model: Vec<WalRecord> = Vec::new();
+        let mut truncated = 0u64;
+
+        for (kind, pick, key, len) in ops {
+            match kind {
+                0 | 1 => {
+                    let lsn = log.append(TxnId(1 + pick), insert_op(key, len));
+                    model.push(WalRecord { lsn, txn: TxnId(1 + pick), op: insert_op(key, len) });
+                    prop_assert_eq!(lsn.0, truncated + model.len() as u64);
+                }
+                2 => {
+                    // Checkpoint truncation at an arbitrary retained point.
+                    let head = log.head().0;
+                    let through = truncated + pick.min(head - truncated);
+                    log.truncate_through(Lsn(through));
+                    truncated = truncated.max(through);
+                }
+                _ => {
+                    // Crash: discard an arbitrary suffix of the live tail.
+                    let head = log.head().0;
+                    let after = head.saturating_sub(pick).max(truncated);
+                    let expect_dropped = head - after;
+                    prop_assert_eq!(log.discard_after(Lsn(after)), expect_dropped);
+                    model.truncate((after - model.first().map_or(after, |r| r.lsn.0 - 1)) as usize);
+                }
+            }
+            // Model bookkeeping: drop the dead prefix so model[i] is the
+            // record at lsn = first_live + i.
+            let first_live = model.first().map_or(truncated, |r| r.lsn.0 - 1);
+            if truncated > first_live {
+                model.drain(..(truncated - first_live) as usize);
+            }
+
+            // Observational equivalence at every step.
+            prop_assert_eq!(log.head().0, truncated + model.len() as u64);
+            prop_assert_eq!(log.retained(), model.len());
+            prop_assert_eq!(
+                log.oldest_retained(),
+                model.first().map(|r| r.lsn)
+            );
+            // records_after from the oldest horizon, a mid-segment one, and
+            // the (empty) head horizon.
+            let head = log.head().0;
+            for after in [truncated, truncated + (head - truncated) / 2, head] {
+                let iter = log.records_after(Lsn(after));
+                prop_assert_eq!(iter.len(), (head - after) as usize, "exact-size hint");
+                let got: Vec<&WalRecord> = iter.collect();
+                let want: Vec<&WalRecord> =
+                    model.iter().filter(|r| r.lsn.0 > after).collect();
+                prop_assert_eq!(got, want);
+            }
+            // Point lookups: every live LSN resolves, horizons miss.
+            for r in &model {
+                prop_assert_eq!(log.get(r.lsn), Some(r));
+            }
+            prop_assert_eq!(log.get(Lsn(truncated)), None);
+            prop_assert_eq!(log.get(Lsn(log.head().0 + 1)), None);
+        }
+    }
+
     /// Page scalar accessors round-trip at arbitrary aligned offsets.
     #[test]
     fn page_scalars_round_trip(off in 0usize..8000, v in any::<u64>()) {

@@ -185,6 +185,11 @@ impl SutProfile {
                     per_record: SimDuration::from_micros(35),
                     base: SimDuration::from_secs(2),
                 },
+                // Single-threaded crash recovery, like the replicas' replay.
+                replay: ReplayPolicy::Sequential {
+                    per_record: SimDuration::from_micros(5),
+                    batch_interval: SimDuration::from_millis(6),
+                },
                 warmup: SimDuration::from_secs(24),
                 warmup_peak: SimDuration::from_millis(8),
             },
@@ -255,6 +260,10 @@ impl SutProfile {
                     per_hop: SimDuration::from_millis(200),
                     undo_per_record: SimDuration::from_micros(100),
                 },
+                replay: ReplayPolicy::Sequential {
+                    per_record: SimDuration::from_micros(10),
+                    batch_interval: SimDuration::from_millis(110),
+                },
                 warmup: SimDuration::from_secs(9),
                 warmup_peak: SimDuration::from_millis(4),
             },
@@ -324,6 +333,10 @@ impl SutProfile {
                     per_hop: SimDuration::from_millis(400),
                     undo_per_record: SimDuration::from_micros(100),
                 },
+                replay: ReplayPolicy::Sequential {
+                    per_record: SimDuration::from_micros(20),
+                    batch_interval: SimDuration::from_millis(680),
+                },
                 warmup: SimDuration::from_secs(27),
                 warmup_peak: SimDuration::from_millis(6),
             },
@@ -392,6 +405,14 @@ impl SutProfile {
                     per_hop: SimDuration::from_millis(300),
                     undo_per_record: SimDuration::from_micros(100),
                 },
+                // The recovering pageserver runs the same checkpoint-
+                // partitioned 8-lane replay as the RO replicas, dividing
+                // the record-proportional undo scan.
+                replay: ReplayPolicy::Parallel {
+                    per_record: SimDuration::from_micros(5),
+                    lanes: 8,
+                    batch_interval: SimDuration::from_millis(5),
+                },
                 warmup: SimDuration::from_secs(18),
                 warmup_peak: SimDuration::from_millis(5),
             },
@@ -456,6 +477,9 @@ impl SutProfile {
                     prepare: SimDuration::from_secs(1),
                     switchover: SimDuration::from_secs(2),
                     recovering: SimDuration::from_secs(3),
+                },
+                replay: ReplayPolicy::OnDemand {
+                    per_batch: SimDuration::from_micros(300),
                 },
                 warmup: SimDuration::from_millis(3500),
                 warmup_peak: SimDuration::from_millis(2),

@@ -105,7 +105,7 @@ fn virtual_time_matches_wall_clock_expectations() {
 #[test]
 fn shipped_wal_segment_replays_on_a_replica() {
     use cb_engine::recovery::redo_committed;
-    use cb_store::{decode_segment, encode_segment, Lsn};
+    use cb_store::{decode_segment, encode_segment_into, Lsn};
 
     // Primary runs a write-heavy workload.
     let seed = 777;
@@ -126,15 +126,18 @@ fn shipped_wal_segment_replays_on_a_replica() {
     let r = run(&mut dep, &[spec], &opts);
     assert!(r.tenants[0].committed > 200);
 
-    // Ship the whole log as bytes (what the replication stream moves)...
-    let records: Vec<_> = dep.db.log().records_after(Lsn::ZERO).to_vec();
-    let wire = encode_segment(&records);
+    // Ship the whole log as bytes (what the replication stream moves):
+    // encode straight out of the segmented log into a reusable scratch
+    // buffer — no record clones, no fresh wire allocation per ship.
+    let shipped = dep.db.log().records_after(Lsn::ZERO).len();
+    let mut wire = Vec::new();
+    encode_segment_into(dep.db.log().records_after(Lsn::ZERO), &mut wire);
     assert!(wire.len() > 10_000, "a real segment: {} bytes", wire.len());
 
     // ...decode on the replica side and replay committed transactions onto
     // a replica bootstrapped from the same base snapshot.
     let decoded = decode_segment(&wire).expect("clean segment");
-    assert_eq!(decoded.len(), records.len());
+    assert_eq!(decoded.len(), shipped);
     let mut replica = cb_engine::Database::new();
     let tables = create_tables(&mut replica);
     load_dataset(&mut replica, tables, shape, seed);

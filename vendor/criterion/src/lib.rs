@@ -51,7 +51,9 @@ impl Bencher {
     }
 
     /// Time `routine` over fresh inputs from `setup`; setup time is not
-    /// counted.
+    /// counted, and — as in the real criterion — neither is dropping the
+    /// routine's output (it is destroyed between measurements, so e.g. a
+    /// returned store's deallocation doesn't pollute the append timing).
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
@@ -61,9 +63,10 @@ impl Bencher {
         while start.elapsed() < BUDGET && self.iters < MAX_ITERS {
             let input = setup();
             let t0 = Instant::now();
-            black_box(routine(input));
+            let out = black_box(routine(input));
             self.total += t0.elapsed();
             self.iters += 1;
+            drop(out);
         }
     }
 
