@@ -248,6 +248,61 @@ fn bench_replay(c: &mut Criterion) {
     });
 }
 
+fn bench_mvcc(c: &mut Criterion) {
+    use cb_engine::{Database, LockTable};
+    use cb_sim::SimTime;
+
+    fn schema() -> cb_engine::Schema {
+        use cb_engine::{ColumnDef, DataType};
+        cb_engine::Schema::new(vec![
+            ColumnDef::new("ID", DataType::Int),
+            ColumnDef::new("V", DataType::Int),
+        ])
+    }
+    // A T2-style hot set: 64 rows, each carrying a 32-deep version chain —
+    // the state back-to-back hot payments leave behind between GC sweeps.
+    let mut db = Database::new();
+    let t = db.create_table("hot", schema());
+    db.load_bulk(
+        t,
+        (0..64i64).map(|k| Row::new(vec![Value::Int(k), Value::Int(0)])),
+    );
+    for ts in 1..=32u64 {
+        for k in 0..64i64 {
+            let pre = Row::new(vec![Value::Int(k), Value::Int(ts as i64 - 1)]).encode();
+            db.versions_mut()
+                .publish((t, k), Some(&pre), SimTime::from_millis(ts * 10));
+        }
+    }
+    // A snapshot in the middle of the chain: the read walks ~half the
+    // versions before it finds the first image at or below its timestamp,
+    // then decodes it — the full hot-read path under write contention.
+    c.bench_function("mvcc_read_hot_write", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            let key = k & 63;
+            k += 1;
+            black_box(db.get_at(t, key, SimTime::from_millis(165)))
+        })
+    });
+
+    // The first-committer-wins decision: probe a lock table where half the
+    // keys are held by concurrent writers (abort) and half are free
+    // (proceed) — the per-attempt overhead SI adds to every write txn.
+    let mut locks = LockTable::new();
+    for k in 0..64i64 {
+        locks.register(&[(t, k)], SimTime::from_secs(3600));
+    }
+    c.bench_function("si_abort_rate", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            let key = k & 127;
+            k += 1;
+            black_box(locks.conflict_probe(&[(t, key)], SimTime::from_millis(1)))
+        })
+    });
+}
+
 fn bench_row_codec(c: &mut Criterion) {
     let row = Row::new(vec![
         Value::Int(42),
@@ -272,6 +327,7 @@ criterion_group!(
     bench_bufferpool,
     bench_wal,
     bench_replay,
+    bench_mvcc,
     bench_row_codec
 );
 criterion_main!(benches);

@@ -30,7 +30,7 @@
 use cb_cluster::{plan_failover_with_detection, HeartbeatMonitor, NodeHealth};
 use cb_engine::exec::RemoteTier;
 use cb_engine::recovery::{analyze, undo_losers_durable};
-use cb_engine::{ExecCtx, Row, Value};
+use cb_engine::{ExecCtx, IsolationLevel, Row, Value};
 use cb_obs::{
     ascii_timeline, chrome_trace_json, histogram_csv, histogram_summary_json, Category, ObsSink,
 };
@@ -68,6 +68,16 @@ pub struct ChaosOptions {
     /// gaps between transactions as well as inside them — the timing the
     /// closed back-to-back loop can never produce.
     pub arrival_rate: Option<f64>,
+    /// Isolation level under test. At a versioned level every write commit
+    /// publishes its pre-images to the version store, stamped with the
+    /// group-commit ack instant, and the snapshot-consistency oracle checks
+    /// every still-pending row after each transaction.
+    pub isolation: IsolationLevel,
+    /// Test-only bug injection: snapshot reads resolve to the tree's latest
+    /// image instead of the version visible at `now` — i.e. they observe
+    /// commits whose acks are still pending. The snapshot-consistency
+    /// oracle must catch it.
+    pub bug_read_future_version: bool,
 }
 
 impl Default for ChaosOptions {
@@ -80,6 +90,8 @@ impl Default for ChaosOptions {
             group_commit_window: None,
             collect_artifacts: true,
             arrival_rate: None,
+            isolation: IsolationLevel::ReadCommitted,
+            bug_read_future_version: false,
         }
     }
 }
@@ -371,6 +383,12 @@ impl Harness {
         }
         // A checkpoint flushes the WAL, which closes the open commit batch.
         self.flush_pending();
+        // With every ack delivered, no snapshot older than `now` is live:
+        // prune version chains below the watermark.
+        let pruned = self.dep.db.versions_mut().gc(self.now);
+        if pruned > 0 {
+            self.obs.add("chaos.mvcc.pruned", pruned);
+        }
         let start = self.now;
         let (lsn, _pages, io) =
             self.dep
@@ -493,6 +511,7 @@ impl Harness {
             }
         };
         let mut commit_lsn = None;
+        let mut committed_rec = None;
         if abort_roll && !staged.is_empty() {
             db.abort(&mut ctx, txn);
             self.aborted += 1;
@@ -502,6 +521,7 @@ impl Harness {
             let c = db.commit(&mut ctx, txn);
             self.committed += 1;
             commit_lsn = Some(c.lsn);
+            committed_rec = Some(c);
         }
         let latency = ctx.cpu + ctx.io;
         drop(ctx);
@@ -509,6 +529,22 @@ impl Harness {
         // its ack — and its client-visible effects — arrive only when the
         // batch flushes. Read-only commits never enqueue and carry no ops.
         let enqueued = self.gc.commits() > pre_enqueued;
+        // Versioned isolation: publish the commit's pre-images, stamped with
+        // the instant the client will be acknowledged — the batch flush for
+        // enqueued commits. Until that instant a snapshot read must resolve
+        // to the pre-image, which is exactly what the oracle below checks.
+        if self.opts.isolation.is_versioned() {
+            if let Some(c) = &committed_rec {
+                if !c.undo.is_empty() {
+                    let commit_ts = if enqueued {
+                        self.gc.last_ack()
+                    } else {
+                        now + latency
+                    };
+                    self.dep.db.publish_versions(c, commit_ts);
+                }
+            }
+        }
         let commit_wait = if enqueued {
             if self.opts.bug_ack_unflushed {
                 // Injected bug: ack immediately, before the flush. The
@@ -538,6 +574,57 @@ impl Harness {
         // the whole point of group commit: the next transaction's writes can
         // join the same open batch instead of waiting out the flush.
         self.now = now + (latency - commit_wait) + SimDuration::from_micros(250);
+        if self.opts.isolation.is_versioned() {
+            // Deliver acks that matured within this transaction first, so
+            // the oracle only examines commits whose acks are genuinely
+            // still in the future.
+            self.drain_acks(self.now);
+            self.check_snapshots()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot-consistency oracle: for every row touched by a commit whose
+    /// group-commit ack is still pending, a snapshot read at `now` must see
+    /// the acknowledged image (the shadow), never the in-flight future
+    /// version already sitting in the B-tree — and reading the same row
+    /// twice within one snapshot must give the identical answer.
+    fn check_snapshots(&self) -> Result<(), Violation> {
+        // Injected bug: read the tree's latest image (what a non-versioned
+        // read would return) instead of resolving the chain at `now`.
+        let read_ts = if self.opts.bug_read_future_version {
+            SimTime::MAX
+        } else {
+            self.now
+        };
+        for p in &self.pending {
+            for op in &p.ops {
+                let (t, k) = match op {
+                    ShadowOp::Put(t, k, _) => (*t, *k),
+                    ShadowOp::Delete(t, k) => (*t, *k),
+                };
+                let first = self.dep.db.get_at(t, k, read_ts);
+                let second = self.dep.db.get_at(t, k, read_ts);
+                if first != second {
+                    return Err(self.violation(
+                        "snapshot-consistency",
+                        format!(
+                            "repeated read of table {t:?} key {k} diverged within one snapshot"
+                        ),
+                    ));
+                }
+                if first.as_ref() != self.shadow.get(t, k) {
+                    return Err(self.violation(
+                        "snapshot-consistency",
+                        format!(
+                            "snapshot read at {:?} of table {t:?} key {k} observed a version \
+                             whose commit ack (at {:?}) is still pending",
+                            self.now, p.ack_at
+                        ),
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 

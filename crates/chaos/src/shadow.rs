@@ -105,6 +105,14 @@ impl ShadowModel {
         }
     }
 
+    /// The committed (acknowledged) image of one row, if present. The
+    /// snapshot-consistency oracle compares MVCC snapshot reads against
+    /// this: a snapshot taken now must see exactly the acked state, never
+    /// a commit whose ack is still pending in an open group-commit batch.
+    pub fn get(&self, table: TableId, key: i64) -> Option<&Row> {
+        self.tables[table.0 as usize].2.get(&key)
+    }
+
     /// Total rows across all tables.
     pub fn rows(&self) -> usize {
         self.tables.iter().map(|(_, _, m)| m.len()).sum()

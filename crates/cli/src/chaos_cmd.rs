@@ -10,6 +10,7 @@
 use std::path::PathBuf;
 
 use cb_chaos::{run_campaign_jobs, run_seed, ChaosOptions, FaultSchedule, ShrunkViolation};
+use cb_engine::IsolationLevel;
 use cb_sut::SutProfile;
 
 /// Parsed `chaos` subcommand arguments.
@@ -18,6 +19,7 @@ struct ChaosArgs {
     profiles: Vec<SutProfile>,
     replay: Option<u64>,
     bug_skip_redo: Option<usize>,
+    isolation: IsolationLevel,
     txns: u64,
     jobs: usize,
     out: Option<PathBuf>,
@@ -27,11 +29,14 @@ fn chaos_usage() -> String {
     let names: Vec<&str> = SutProfile::all().iter().map(|p| p.name).collect();
     format!(
         "usage: cloudybench chaos [--seeds N] [--profile NAME] [--replay SEED]\n\
-         \x20                        [--txns N] [--jobs N] [--bug-skip-redo N] [--out DIR]\n\
+         \x20                        [--isolation LEVEL] [--txns N] [--jobs N]\n\
+         \x20                        [--bug-skip-redo N] [--out DIR]\n\
          \n\
          --seeds N          seeds 0..N per profile (default 20)\n\
          --profile NAME     limit to one profile ({})\n\
          --replay SEED      re-run one seed, printing its fault schedule\n\
+         --isolation LEVEL  rc|si|ser (default rc); si/ser turn on version\n\
+         \x20                  publication and the snapshot-consistency oracle\n\
          --txns N           workload transactions per seed (default 60)\n\
          --jobs N           worker threads per campaign (default: available\n\
          \x20                  parallelism; reports are byte-identical to --jobs 1)\n\
@@ -47,6 +52,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ChaosArgs, String> {
         profiles: SutProfile::all(),
         replay: None,
         bug_skip_redo: None,
+        isolation: IsolationLevel::ReadCommitted,
         txns: 60,
         jobs: cloudybench::parallel::default_jobs(),
         out: None,
@@ -82,6 +88,11 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ChaosArgs, String> {
                         .parse()
                         .map_err(|e| format!("--bug-skip-redo: {e}"))?,
                 )
+            }
+            "--isolation" => {
+                let name = value("--isolation")?;
+                parsed.isolation = IsolationLevel::parse(&name)
+                    .ok_or_else(|| format!("unknown isolation {name:?}\n{}", chaos_usage()))?;
             }
             "--txns" => {
                 parsed.txns = value("--txns")?
@@ -132,6 +143,7 @@ pub fn chaos_main(args: impl Iterator<Item = String>) -> u8 {
     let opts = ChaosOptions {
         txns: parsed.txns,
         bug_skip_redo: parsed.bug_skip_redo,
+        isolation: parsed.isolation,
         ..ChaosOptions::default()
     };
     if let Some(seed) = parsed.replay {

@@ -153,6 +153,9 @@ impl Deployment {
             .map(|_| self.profile.replication_stream())
             .collect();
         self.db.locks_mut().clear();
+        // Version chains are runtime state like locks: a fresh run must not
+        // see snapshots published by the previous one.
+        self.db.versions_mut().clear();
     }
 
     /// Meter resource consumption over `[from, to)`. Device-level I/O is

@@ -16,7 +16,7 @@ use cb_cluster::{plan_failover, plan_ro_failover, FailoverTimeline, ScaleSample,
 use cb_engine::exec::RemoteTier;
 use cb_engine::recovery::analyze;
 use cb_engine::sql::{execute, BoundStmt};
-use cb_engine::{ExecCtx, Value};
+use cb_engine::{ExecCtx, IsolationLevel, Value};
 use cb_obs::{Category, LogHistogram, ObsSink};
 use cb_sim::{DetRng, EventQueue, SimDuration, SimTime, TpsRecorder};
 use cb_store::Lsn;
@@ -166,6 +166,14 @@ pub struct RunOptions {
     pub collect_lag: bool,
     /// Optional failure injection.
     pub failure: Option<FailurePlan>,
+    /// Transaction isolation for the whole run. `None` defers to the SUT
+    /// profile's `default_isolation` (READ COMMITTED on all five, the
+    /// vendors' shipped default). Versioned levels turn write-write
+    /// conflicts into first-committer-wins aborts (counted in
+    /// [`RunResult::si_aborts`], retried by the client loop) and serve
+    /// reads from the snapshot at transaction start — never blocking,
+    /// never registering in the lock table.
+    pub isolation: Option<IsolationLevel>,
     /// Observability sink: span tracing, histograms, counters. Disabled by
     /// default (zero overhead); enable with `ObsSink::enabled()` to capture
     /// a full virtual-time trace of the run.
@@ -180,6 +188,7 @@ impl Default for RunOptions {
             vcores: VcoreControl::PolicyPerNode,
             collect_lag: false,
             failure: None,
+            isolation: None,
             obs: ObsSink::disabled(),
         }
     }
@@ -289,6 +298,10 @@ pub struct RunResult {
     pub failover: Option<FailoverTimeline>,
     /// Lock conflicts observed.
     pub lock_conflicts: u64,
+    /// First-committer-wins aborts under versioned isolation (each is
+    /// retried by the client loop, so this is also the retry count).
+    /// Always 0 at READ COMMITTED, where conflicts block instead.
+    pub si_aborts: u64,
 }
 
 impl RunResult {
@@ -503,6 +516,7 @@ pub fn run(dep: &mut Deployment, tenants: &[TenantSpec], opts: &RunOptions) -> R
         lag: LagSamples::default(),
         failover: None,
         lock_conflicts: 0,
+        si_aborts: 0,
     };
     let mut ro_rr: usize = 0;
 
@@ -691,8 +705,35 @@ pub(crate) fn attempt_txn(
         }
     };
 
-    // Virtual-time 2PL: wait for conflicting writers.
-    if !wait_keys.is_empty() {
+    let iso = opts.isolation.unwrap_or(dep.profile.default_isolation);
+    if iso.is_versioned() {
+        // First-committer-wins: a write key held by a concurrent writer
+        // (its lock release time *is* its commit instant) aborts this
+        // attempt, to be retried once the winner has committed. Under the
+        // serializable approximation the T3 status check also validates
+        // its read key; snapshot reads themselves never consult or
+        // register locks.
+        let probed = dep.db.locks_mut().conflict_probe(&wait_keys, t);
+        let read_probe = if iso == IsolationLevel::Serializable && kind == TxnKind::OrderStatus {
+            dep.db
+                .locks_mut()
+                .conflict_probe(&[(dep.tables.orders, o_id)], t)
+        } else {
+            None
+        };
+        if let Some(until) = probed.max(read_probe) {
+            result.si_aborts += 1;
+            opts.obs
+                .span(Category::Mvcc, "abort-retry", site.tenant as u64, t, until);
+            opts.obs.add("mvcc.aborts", 1);
+            opts.obs.record(
+                "mvcc.retry_backoff_ns",
+                until.saturating_since(t).as_nanos(),
+            );
+            return StepOutcome::Blocked { resume_at: until };
+        }
+    } else if !wait_keys.is_empty() {
+        // Virtual-time 2PL: wait for conflicting writers.
         if let Some(until) = dep.db.locks_mut().conflict_until(&wait_keys, t) {
             result.lock_conflicts += 1;
             opts.obs
@@ -720,7 +761,8 @@ pub(crate) fn attempt_txn(
     let remote = remote_pool.as_mut().map(|pool| RemoteTier { pool });
     let mut ctx = ExecCtx::new(t, &mut node.pool, remote, storage, &profile.cost_model)
         .with_obs(&opts.obs, node_idx as u64)
-        .with_group_commit(group_commit);
+        .with_group_commit(group_commit)
+        .with_isolation(iso);
     let mut txn = db.begin();
     let stmt = |name: &str| -> &BoundStmt { registry.get(name).expect("registered") };
     match kind {
@@ -804,6 +846,15 @@ pub(crate) fn attempt_txn(
     // Register write locks until the commit instant.
     if !committed.writes.is_empty() {
         db.locks_mut().register(&committed.writes, end);
+        // Publish version-chain pre-images, visible from the commit
+        // instant: snapshot readers inside (t, end) resolve to the rows as
+        // they stood before this transaction. Atomic with the logical
+        // execution, so the overlay never lags the tree.
+        if iso.is_versioned() {
+            db.publish_versions(&committed, end);
+            opts.obs
+                .add("mvcc.published", committed.writes.len() as u64);
+        }
         // Ship to replicas.
         let dml = committed.writes.len() as u64;
         for (ri, stream) in streams.iter_mut().enumerate() {
@@ -1023,6 +1074,17 @@ fn handle_event(
         }
         Event::Gc => {
             dep.db.locks_mut().gc(now);
+            // MVCC watermark GC: transactions are atomic within one
+            // attempt on the virtual clock — no snapshot taken before
+            // `now` can still be live, so `now` is the watermark. No-op
+            // at READ COMMITTED (nothing was published).
+            let pruned = dep.db.versions_mut().gc(now);
+            if pruned > 0 {
+                opts.obs.instant(Category::Mvcc, "gc", 0, now);
+                opts.obs.add("mvcc.gc.pruned", pruned);
+                opts.obs
+                    .record("mvcc.chain_max", dep.db.versions().max_chain() as u64);
+            }
             // Bound log memory on architectures without checkpoints: keep a
             // generous tail for fail-over analysis.
             if dep.profile.checkpoint_interval.is_none() {
@@ -1254,6 +1316,66 @@ mod tests {
                 5193727
             )
         );
+    }
+
+    /// PR 8 determinism pin: explicitly selecting READ COMMITTED (rather
+    /// than deferring to the profile default) takes the exact pre-MVCC code
+    /// path — single-client results must stay bit-identical forever.
+    #[test]
+    fn explicit_read_committed_single_client_is_pinned() {
+        let mut dep = quick_dep(SutProfile::aws_rds());
+        let spec = TenantSpec::constant(
+            1,
+            SimDuration::from_secs(5),
+            TxnMix::read_write(),
+            AccessDistribution::Latest(64),
+            whole(&dep),
+        );
+        let opts = RunOptions {
+            isolation: Some(IsolationLevel::ReadCommitted),
+            ..RunOptions::default()
+        };
+        let r = run(&mut dep, &[spec], &opts);
+        assert_eq!(r.si_aborts, 0, "RC never takes the FCW abort path");
+        assert_eq!(
+            (
+                r.tenants[0].committed,
+                r.tenants[0].latency_sum.as_nanos(),
+                r.lock_conflicts,
+                r.overall_tps().to_bits(),
+                r.tenants[0].latency_hist.percentile(99.0),
+            ),
+            (3119, 4999498900, 0, 4648698218646234726, 4702207),
+        );
+    }
+
+    /// Versioned isolation converts blocking into counted aborts: under a
+    /// hot-write mix SI must retry (si_aborts > 0) while registering zero
+    /// 2PL conflicts, and both SI and SER must still commit work.
+    #[test]
+    fn versioned_isolation_aborts_instead_of_blocking() {
+        for iso in [IsolationLevel::Snapshot, IsolationLevel::Serializable] {
+            let mut dep = quick_dep(SutProfile::aws_rds());
+            let spec = TenantSpec::constant(
+                16,
+                SimDuration::from_secs(5),
+                TxnMix::read_write(),
+                AccessDistribution::Latest(64),
+                whole(&dep),
+            );
+            let opts = RunOptions {
+                isolation: Some(iso),
+                ..RunOptions::default()
+            };
+            let r = run(&mut dep, &[spec], &opts);
+            assert!(r.tenants[0].committed > 0, "{iso:?} commits work");
+            assert!(r.si_aborts > 0, "{iso:?} detects FCW conflicts");
+            assert_eq!(r.lock_conflicts, 0, "{iso:?} never blocks on 2PL");
+            assert!(
+                dep.db.versions().published() > 0,
+                "{iso:?} publishes version chains"
+            );
+        }
     }
 
     #[test]

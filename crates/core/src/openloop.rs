@@ -163,6 +163,7 @@ pub fn run_open_loop(
         lag: LagSamples::default(),
         failover: None,
         lock_conflicts: 0,
+        si_aborts: 0,
     };
 
     // Arrival source. The arrival stream and the per-op attribution streams

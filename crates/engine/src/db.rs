@@ -14,6 +14,7 @@ use crate::btree::{AccessLog, BTree};
 use crate::bufferpool::BufferPool;
 use crate::exec::ExecCtx;
 use crate::locks::{LockTable, RowKey};
+use crate::mvcc::{VersionStore, Visibility};
 use crate::secondary::SecondaryIndex;
 use crate::value::{Row, Schema, SchemaError, Value};
 
@@ -135,6 +136,13 @@ pub struct Committed {
     pub lsn: Lsn,
     /// Row keys to lock until the commit's virtual completion time.
     pub writes: Vec<RowKey>,
+    /// The transaction's undo records, moved out of the handle so the
+    /// driver can publish version-chain pre-images once it knows the
+    /// commit's virtual completion time (see
+    /// [`Database::publish_versions`]). Free for READ COMMITTED runs: the
+    /// records were already cloned for abort handling; this only changes
+    /// where they are dropped.
+    pub undo: Vec<WalRecord>,
 }
 
 /// The canonical database of one simulated cluster.
@@ -142,6 +150,7 @@ pub struct Database {
     pages: PageStore,
     log: LogStore,
     locks: LockTable,
+    versions: VersionStore,
     tables: Vec<TableMeta>,
     next_txn: u64,
     last_checkpoint: Lsn,
@@ -160,6 +169,7 @@ impl Database {
             pages: PageStore::new(),
             log: LogStore::new(),
             locks: LockTable::new(),
+            versions: VersionStore::new(),
             tables: Vec::new(),
             next_txn: 1,
             last_checkpoint: Lsn::ZERO,
@@ -204,6 +214,16 @@ impl Database {
     /// The lock table (driver-managed virtual-time 2PL).
     pub fn locks_mut(&mut self) -> &mut LockTable {
         &mut self.locks
+    }
+
+    /// The version overlay (snapshot reads, chain stats).
+    pub fn versions(&self) -> &VersionStore {
+        &self.versions
+    }
+
+    /// Mutable version-overlay access (GC, tests).
+    pub fn versions_mut(&mut self) -> &mut VersionStore {
+        &mut self.versions
     }
 
     /// The WAL.
@@ -446,8 +466,29 @@ impl Database {
         self.insert(ctx, txn, table, Row::new(values))
     }
 
-    /// Point lookup.
+    /// Point lookup. Under a versioned isolation level the read resolves
+    /// against the snapshot at `ctx.now`: the common case (the row's latest
+    /// image committed at-or-before the snapshot) is one overlay probe and
+    /// then the unchanged zero-copy tree path; otherwise the in-memory
+    /// version chain serves the historical image directly — no page
+    /// traffic, no lock-table contact, never blocking. READ COMMITTED
+    /// bypasses the overlay entirely and is bit-identical to the
+    /// single-version engine.
     pub fn get(&self, ctx: &mut ExecCtx<'_>, table: TableId, key: i64) -> Option<Row> {
+        if ctx.isolation.is_versioned() {
+            match self.versions.visible((table, key), ctx.now) {
+                Visibility::Latest => {}
+                Visibility::Image(img) => {
+                    ctx.charge_stmt();
+                    ctx.charge_rows(1);
+                    return Some(Row::decode(img));
+                }
+                Visibility::Absent => {
+                    ctx.charge_stmt();
+                    return None;
+                }
+            }
+        }
         let t = &self.tables[table.0 as usize];
         let mut alog = AccessLog::new();
         ctx.charge_stmt();
@@ -457,6 +498,22 @@ impl Database {
             ctx.charge_rows(1);
             Row::decode(img)
         })
+    }
+
+    /// Snapshot point read at `ts` with no cost accounting: the overlay
+    /// resolves visibility, falling through to the tree's latest image.
+    /// For oracles, tests, and microbenches — served reads go through
+    /// [`Database::get`].
+    pub fn get_at(&self, table: TableId, key: i64, ts: SimTime) -> Option<Row> {
+        match self.versions.visible((table, key), ts) {
+            Visibility::Latest => {
+                let t = &self.tables[table.0 as usize];
+                let mut alog = AccessLog::new();
+                t.tree.get(&self.pages, key, &mut alog).map(Row::decode)
+            }
+            Visibility::Image(img) => Some(Row::decode(img)),
+            Visibility::Absent => None,
+        }
     }
 
     /// Read-modify-write a row in place. Returns `false` if absent.
@@ -567,6 +624,7 @@ impl Database {
             return Committed {
                 lsn: self.log.head(),
                 writes: Vec::new(),
+                undo: Vec::new(),
             };
         }
         let lsn = self.log.append(txn.id, WalOp::Commit);
@@ -575,6 +633,33 @@ impl Database {
         Committed {
             lsn,
             writes: std::mem::take(&mut txn.writes),
+            undo: std::mem::take(&mut txn.undo),
+        }
+    }
+
+    /// Publish the version-chain pre-images of a committed transaction,
+    /// visible from `commit_ts` (the commit's virtual completion time —
+    /// group-commit ack or commit-latency end). Only the *first* undo
+    /// record per row matters: it carries the image the row had before the
+    /// transaction touched it. Must be called atomically with the logical
+    /// execution (the tree already holds the post-images), so snapshot
+    /// readers between now and `commit_ts` resolve to the pre-image.
+    pub fn publish_versions(&mut self, committed: &Committed, commit_ts: SimTime) {
+        let mut seen: Vec<RowKey> = Vec::with_capacity(committed.undo.len());
+        for rec in &committed.undo {
+            let (key, pre): (RowKey, Option<&[u8]>) = match &rec.op {
+                WalOp::Insert { table, key, .. } => ((*table, *key), None),
+                WalOp::Update {
+                    table, key, before, ..
+                } => ((*table, *key), Some(before)),
+                WalOp::Delete { table, key, before } => ((*table, *key), Some(before)),
+                _ => continue,
+            };
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            self.versions.publish(key, pre, commit_ts);
         }
     }
 
@@ -654,13 +739,17 @@ impl Database {
     }
 
     /// Crash simulation: wipe all volatile coordination state (the lock
-    /// table — locks live in node memory and die with the process) and
-    /// return the WAL head at the instant of the crash. Page/log/catalog
-    /// state is left exactly as it was: the caller decides how much of the
-    /// log tail survived (see [`LogStore::discard_after`]) and what recovery
-    /// path to run.
+    /// table and the version overlay — both live in node memory and die
+    /// with the process) and return the WAL head at the instant of the
+    /// crash. Page/log/catalog state is left exactly as it was: the caller
+    /// decides how much of the log tail survived (see
+    /// [`LogStore::discard_after`]) and what recovery path to run. A
+    /// recovered database serves every row at `SimTime::ZERO` — versions
+    /// collapse to the latest committed image, which keeps net-effect
+    /// parallel redo byte-identical across lanes.
     pub fn simulate_crash(&mut self) -> Lsn {
         self.locks.clear();
+        self.versions.clear();
         self.log.head()
     }
 

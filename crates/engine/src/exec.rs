@@ -12,6 +12,7 @@ use cb_sim::{SimDuration, SimTime};
 use cb_store::{GroupCommit, PageId, StorageService};
 
 use crate::bufferpool::BufferPool;
+use crate::mvcc::IsolationLevel;
 
 /// Tunable CPU/cache cost constants. One per SUT profile.
 #[derive(Clone, Copy, Debug)]
@@ -89,6 +90,12 @@ pub struct ExecCtx<'a> {
     pub io: SimDuration,
     /// Counters.
     pub stats: ExecStats,
+    /// Isolation level the transaction reads under. At the default
+    /// [`IsolationLevel::ReadCommitted`] the version store is never
+    /// consulted and the read path is bit-identical to the single-version
+    /// engine; versioned levels resolve reads against the snapshot at
+    /// [`ExecCtx::now`].
+    pub isolation: IsolationLevel,
     /// Group-commit pipeline (attach via [`ExecCtx::with_group_commit`]).
     /// When absent, [`ExecCtx::charge_commit`] falls back to the legacy
     /// per-commit flush.
@@ -117,6 +124,7 @@ impl<'a> ExecCtx<'a> {
             cpu: SimDuration::ZERO,
             io: SimDuration::ZERO,
             stats: ExecStats::default(),
+            isolation: IsolationLevel::ReadCommitted,
             group_commit: None,
             obs: ObsSink::disabled(),
             track: 0,
@@ -126,6 +134,14 @@ impl<'a> ExecCtx<'a> {
     /// Route commits through `gc` instead of the legacy per-commit flush.
     pub fn with_group_commit(mut self, gc: &'a mut GroupCommit) -> Self {
         self.group_commit = Some(gc);
+        self
+    }
+
+    /// Read under `isolation`. Snapshot levels resolve point reads against
+    /// the version store at the transaction's start instant instead of the
+    /// tree's latest image.
+    pub fn with_isolation(mut self, isolation: IsolationLevel) -> Self {
+        self.isolation = isolation;
         self
     }
 

@@ -8,6 +8,8 @@
 //! * [`btree`] — a clustered B+tree over fixed-size pages.
 //! * [`bufferpool`] — per-node LRU cache simulator (hits/misses/dirty).
 //! * [`locks`] — virtual-time 2PL row locks.
+//! * [`mvcc`] — version chains, snapshot visibility, watermark GC, and the
+//!   selectable [`IsolationLevel`]s.
 //! * [`exec`] — [`ExecCtx`]: accumulates CPU demand and I/O wait while
 //!   operations execute logically for real.
 //! * [`db`] — the [`Database`] facade: tables, transactions with undo, WAL
@@ -22,6 +24,7 @@ pub mod bufferpool;
 pub mod db;
 pub mod exec;
 pub mod locks;
+pub mod mvcc;
 pub mod recovery;
 pub mod secondary;
 pub mod slotted;
@@ -33,4 +36,5 @@ pub use bufferpool::{Access, BufferPool};
 pub use db::{Committed, Database, EngineError, TxnHandle};
 pub use exec::{CostModel, ExecCtx, ExecStats, RemoteTier};
 pub use locks::{LockTable, RowKey};
+pub use mvcc::{IsolationLevel, Version, VersionStore, Visibility};
 pub use value::{ColumnDef, DataType, Row, Schema, SchemaError, Value};

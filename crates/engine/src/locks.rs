@@ -47,6 +47,25 @@ impl LockTable {
         latest
     }
 
+    /// Non-mutating variant of [`LockTable::conflict_until`]: when would
+    /// the last conflicting holder release, without counting a 2PL
+    /// conflict. Versioned isolation levels use this as their
+    /// first-committer-wins probe — a held lock's release time *is* the
+    /// concurrent writer's commit instant, so overlap means the probing
+    /// transaction must abort (write-write under SI, and read-write under
+    /// the serializable read-validation approximation) rather than block.
+    pub fn conflict_probe(&self, keys: &[RowKey], now: SimTime) -> Option<SimTime> {
+        let mut latest: Option<SimTime> = None;
+        for k in keys {
+            if let Some(&release) = self.held.get(k) {
+                if release > now {
+                    latest = Some(latest.map_or(release, |l| l.max(release)));
+                }
+            }
+        }
+        latest
+    }
+
     /// Record that `keys` are exclusively locked until `release`. A key
     /// already held with an earlier release is extended; with a later one it
     /// is kept (the later holder wins — callers have already waited out
@@ -126,6 +145,18 @@ mod tests {
             lt.conflict_until(&[(T, 1), (T, 2), (T, 3)], SimTime::ZERO),
             Some(SimTime::from_millis(30))
         );
+    }
+
+    #[test]
+    fn probe_reports_conflicts_without_counting_them() {
+        let mut lt = LockTable::new();
+        lt.register(&[(T, 1)], SimTime::from_millis(10));
+        assert_eq!(
+            lt.conflict_probe(&[(T, 1)], SimTime::from_millis(5)),
+            Some(SimTime::from_millis(10))
+        );
+        assert_eq!(lt.conflict_probe(&[(T, 1)], SimTime::from_millis(10)), None);
+        assert_eq!(lt.conflicts(), 0, "probes never count as 2PL conflicts");
     }
 
     #[test]

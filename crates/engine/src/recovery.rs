@@ -833,6 +833,65 @@ mod tests {
         assert_eq!(db.log().recycled_segments(), 0, "recycled buffer reused");
     }
 
+    /// PR 8 seal-boundary variant: a crash with the durable horizon exactly
+    /// at a segment seal, taken while a hot row carries a long version
+    /// chain. The version store is volatile — recovery (replay and in-place
+    /// undo alike) collapses every chain to the latest durable image, so a
+    /// post-recovery snapshot read at any timestamp sees the tree.
+    #[test]
+    fn seal_boundary_crash_collapses_version_chains() {
+        let mut db = base();
+        *db.log_mut() = LogStore::with_segment_capacity(3);
+        let t = db.table_id("t").unwrap();
+        let mut pool = BufferPool::new(256);
+        let mut st = storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut st, &model);
+        // Five committed updates of the same row, each published the way
+        // the driver does at a versioned isolation level: pre-image stamped
+        // with the (future) commit instant.
+        for i in 1..=5u64 {
+            let mut txn = db.begin();
+            db.update(&mut ctx, &mut txn, t, 1, |r| {
+                r.values[1] = Value::Int(1000 + i as i64);
+            })
+            .unwrap();
+            let c = db.commit(&mut ctx, txn);
+            db.publish_versions(&c, SimTime::from_millis(i * 10));
+        }
+        assert_eq!(db.versions().chain_len((t, 1)), 5, "a long chain built up");
+        // A snapshot between the 2nd and 3rd commit sees the 2nd image.
+        let mid = db.get_at(t, 1, SimTime::from_millis(25)).unwrap();
+        assert_eq!(mid.values[1], Value::Int(1002));
+
+        // The crash horizon lands exactly on the seal after the 4th txn
+        // (segment capacity 3 = one update txn per segment): the 5th txn's
+        // young segment vanishes whole, and the version store dies with the
+        // node. The epoch tail is captured before the loss — in-place undo
+        // needs the before-images of records the crash destroyed.
+        let tail: Vec<WalRecord> = db.log().records_after(Lsn::ZERO).cloned().collect();
+        assert_eq!(db.log_mut().discard_after(Lsn(12)), 3);
+        db.simulate_crash();
+        assert_eq!(db.versions().tracked_rows(), 0, "chains are volatile");
+
+        // Replay path: four updates survive; the rebuilt store has no
+        // chains, so a read at *any* timestamp resolves to the tree.
+        let rebuilt = rebuild(base, db.log());
+        let latest = rebuilt.get_at(t, 1, SimTime::MAX).unwrap();
+        assert_eq!(latest.values[1], Value::Int(1004));
+        assert_eq!(rebuilt.get_at(t, 1, SimTime::ZERO).unwrap(), latest);
+        assert_eq!(
+            rebuilt.get_at(t, 1, SimTime::from_millis(25)).unwrap(),
+            latest
+        );
+
+        // In-place path: the crashed image already holds all five updates;
+        // undoing losers against the durable horizon rolls back the fifth.
+        undo_losers_durable(&mut db, &tail, 12);
+        assert_eq!(db.dump_table(t), rebuilt.dump_table(t));
+        assert_eq!(db.get_at(t, 1, SimTime::ZERO).unwrap(), latest);
+    }
+
     #[test]
     fn torn_tail_in_a_recycled_segment_recovers_to_the_durable_prefix() {
         let mut db = base();

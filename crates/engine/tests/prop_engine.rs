@@ -12,6 +12,19 @@ use cb_store::{PageBuf, PageStore};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
+enum MvccOp {
+    /// Commit a new image of the key at the current instant.
+    Write(i64, u8),
+    /// Commit a delete of the key (no-op when absent).
+    Delete(i64),
+    /// Snapshot-read the key at a fraction of the live `[watermark, now]`
+    /// window.
+    Read(i64, u8),
+    /// Advance the GC watermark to a fraction of the same window and prune.
+    Gc(u8),
+}
+
+#[derive(Clone, Debug)]
 enum Op {
     Insert(i64, Vec<u8>),
     Update(i64, Vec<u8>),
@@ -221,6 +234,130 @@ proptest! {
         for (i, (k, v)) in model.iter().enumerate() {
             prop_assert_eq!(s.key_at(i), *k);
             prop_assert_eq!(s.payload_at(i), v.as_slice());
+        }
+    }
+
+    /// The multi-version read path agrees with a full-history model. The
+    /// model is `BTreeMap<(key, commit_ts), Option<image>>` — every image a
+    /// key ever had, stamped with the instant it became current (`None` =
+    /// deleted). A snapshot read of `k` at `ts` must equal the model's
+    /// newest entry at or before `(k, ts)`; the implementation resolves it
+    /// through `VersionStore::visible` backed by the live B+tree. GC to a
+    /// watermark `g` prunes dead versions, after which every read at
+    /// `ts >= g` must *still* match the unpruned model — the direct
+    /// statement of GC-watermark correctness.
+    #[test]
+    fn mvcc_reads_match_history_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0i64..24, 1u8..255).prop_map(|(k, b)| MvccOp::Write(k, b)),
+                (0i64..24).prop_map(MvccOp::Delete),
+                (0i64..24, 0u8..101).prop_map(|(k, f)| MvccOp::Read(k, f)),
+                (0u8..101).prop_map(MvccOp::Gc),
+            ],
+            1..300,
+        ),
+    ) {
+        use cb_engine::{VersionStore, Visibility};
+        use cb_sim::SimTime;
+
+        let mut store = PageStore::new();
+        let mut tree = BTree::create(&mut store);
+        let mut alog = AccessLog::new();
+        let mut versions = VersionStore::new();
+        // Full, never-pruned history: (key, commit_ts) -> image after it.
+        let mut model: BTreeMap<(i64, u64), Option<Vec<u8>>> = BTreeMap::new();
+        // Base data exists "since forever" (commit_ts 0), unpublished —
+        // exactly how a seeded Database starts.
+        for k in 0..8i64 {
+            let img = vec![k as u8; 4];
+            tree.insert(&mut store, k, &img, &mut alog).unwrap();
+            model.insert((k, 0), Some(img));
+        }
+        let mut now: u64 = 0;
+        let mut wm: u64 = 0;
+
+        let read_check = |tree: &BTree,
+                          store: &PageStore,
+                          versions: &VersionStore,
+                          model: &BTreeMap<(i64, u64), Option<Vec<u8>>>,
+                          alog: &mut AccessLog,
+                          k: i64,
+                          ts: u64|
+         -> (Option<Vec<u8>>, Option<Vec<u8>>) {
+            let got = match versions.visible((cb_store::TableId(0), k), SimTime::from_nanos(ts)) {
+                Visibility::Latest => tree.get(store, k, alog).map(|p| p.to_vec()),
+                Visibility::Image(img) => Some(img.to_vec()),
+                Visibility::Absent => None,
+            };
+            let want = model
+                .range((k, 0)..=(k, ts))
+                .next_back()
+                .and_then(|(_, img)| img.clone());
+            (got, want)
+        };
+
+        for op in ops {
+            now += 1;
+            match op {
+                MvccOp::Write(k, b) => {
+                    let img = vec![b; 6];
+                    let pre = tree.get(&store, k, &mut alog).map(|p| p.to_vec());
+                    if pre.is_some() {
+                        tree.update(&mut store, k, &img, &mut alog);
+                    } else {
+                        tree.insert(&mut store, k, &img, &mut alog).unwrap();
+                    }
+                    versions.publish(
+                        (cb_store::TableId(0), k),
+                        pre.as_deref(),
+                        SimTime::from_nanos(now),
+                    );
+                    model.insert((k, now), Some(img));
+                }
+                MvccOp::Delete(k) => {
+                    if let Some(pre) = tree.delete(&mut store, k, &mut alog) {
+                        versions.publish(
+                            (cb_store::TableId(0), k),
+                            Some(&pre),
+                            SimTime::from_nanos(now),
+                        );
+                        model.insert((k, now), None);
+                    }
+                }
+                MvccOp::Read(k, frac) => {
+                    // A snapshot anywhere in the live window [wm, now].
+                    let ts = wm + (now - wm) * frac as u64 / 100;
+                    let (got, want) =
+                        read_check(&tree, &store, &versions, &model, &mut alog, k, ts);
+                    prop_assert_eq!(got, want, "key {} at ts {} (now {})", k, ts, now);
+                }
+                MvccOp::Gc(frac) => {
+                    let g = wm + (now - wm) * frac as u64 / 100;
+                    versions.gc(SimTime::from_nanos(g));
+                    wm = wm.max(g);
+                    // GC must never disturb any read at or above the
+                    // watermark: check the whole key space at both edges
+                    // of the surviving window.
+                    for k in 0..24i64 {
+                        for ts in [wm, now] {
+                            let (got, want) =
+                                read_check(&tree, &store, &versions, &model, &mut alog, k, ts);
+                            prop_assert_eq!(
+                                got, want,
+                                "post-GC(g={}) key {} at ts {} (now {})", g, k, ts, now
+                            );
+                        }
+                    }
+                }
+            }
+            alog.clear();
+        }
+        // Closing sweep: reads at `now` see exactly the tree's live state.
+        for k in 0..24i64 {
+            let (got, want) = read_check(&tree, &store, &versions, &model, &mut alog, k, now);
+            prop_assert_eq!(got.as_deref(), want.as_deref(), "final key {}", k);
+            prop_assert_eq!(got.as_deref(), tree.get(&store, k, &mut alog), "tree is latest {}", k);
         }
     }
 

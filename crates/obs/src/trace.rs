@@ -42,6 +42,9 @@ pub enum Category {
     Checkpoint,
     /// ARIES-style recovery passes.
     Recovery,
+    /// Multi-version concurrency control: snapshot-read resolution,
+    /// first-committer-wins aborts, version-chain GC.
+    Mvcc,
 }
 
 impl Category {
@@ -57,6 +60,7 @@ impl Category {
             Category::Failover => "failover",
             Category::Checkpoint => "checkpoint",
             Category::Recovery => "recovery",
+            Category::Mvcc => "mvcc",
         }
     }
 }

@@ -11,7 +11,7 @@ use cb_cluster::{
     quorum_ack_latency, FailoverModel, FixedCapacity, GradualDownScaler, MeterConfig,
     OnDemandScaler, QuantScaler, RecoveryKind, ReplayPolicy, ReplicationStream, ScalingPolicy,
 };
-use cb_engine::CostModel;
+use cb_engine::{CostModel, IsolationLevel};
 use cb_sim::{Device, DeviceKind, NetworkLink, SimDuration};
 use cb_store::{DurabilityAck, GroupCommit, GroupCommitConfig, StorageArch, StorageService};
 
@@ -117,6 +117,13 @@ pub struct SutProfile {
     pub scale_disruption: SimDuration,
     /// Checkpoint interval for architectures that flush dirty pages.
     pub checkpoint_interval: Option<SimDuration>,
+    /// Default transaction isolation. Every modeled vendor ships READ
+    /// COMMITTED out of the box (PostgreSQL and the MySQL-family services
+    /// configure away from InnoDB's REPEATABLE READ default in their cloud
+    /// tiers), so all five profiles default to
+    /// [`IsolationLevel::ReadCommitted`]; runs opt into SI/SER via
+    /// `RunOptions::isolation`.
+    pub default_isolation: IsolationLevel,
 
     /// Vendor-style pricing for the starred metrics.
     pub actual_pricing: ActualPricing,
@@ -196,6 +203,7 @@ impl SutProfile {
             scaling: ScalingKind::Fixed,
             scale_disruption: SimDuration::ZERO,
             checkpoint_interval: Some(SimDuration::from_secs(30)),
+            default_isolation: IsolationLevel::ReadCommitted,
             actual_pricing: ActualPricing {
                 vcore_hour: 0.30,
                 mem_gb_hour: 0.020,
@@ -270,6 +278,7 @@ impl SutProfile {
             scaling: ScalingKind::GradualDown,
             scale_disruption: SimDuration::from_secs(25),
             checkpoint_interval: None,
+            default_isolation: IsolationLevel::ReadCommitted,
             actual_pricing: ActualPricing {
                 vcore_hour: 0.28,
                 mem_gb_hour: 0.018,
@@ -343,6 +352,7 @@ impl SutProfile {
             scaling: ScalingKind::OnDemand,
             scale_disruption: SimDuration::ZERO,
             checkpoint_interval: None,
+            default_isolation: IsolationLevel::ReadCommitted,
             actual_pricing: ActualPricing {
                 vcore_hour: 0.42,
                 mem_gb_hour: 0.020,
@@ -419,6 +429,7 @@ impl SutProfile {
             scaling: ScalingKind::QuantPauseResume,
             scale_disruption: SimDuration::ZERO,
             checkpoint_interval: None,
+            default_isolation: IsolationLevel::ReadCommitted,
             actual_pricing: ActualPricing {
                 vcore_hour: 0.16, // startup pricing, ~3x cheaper CPU
                 mem_gb_hour: 0.008,
@@ -487,6 +498,7 @@ impl SutProfile {
             scaling: ScalingKind::Fixed,
             scale_disruption: SimDuration::ZERO,
             checkpoint_interval: Some(SimDuration::from_secs(60)),
+            default_isolation: IsolationLevel::ReadCommitted,
             actual_pricing: ActualPricing {
                 vcore_hour: 0.35,
                 mem_gb_hour: 0.025,
