@@ -52,6 +52,7 @@ fn main() {
                 match dist {
                     AccessDistribution::Uniform => "uniform".to_string(),
                     AccessDistribution::Latest(n) => format!("latest-{n}"),
+                    AccessDistribution::Zipfian(pm) => format!("zipfian-0.{pm:03}"),
                 },
                 format!("{:.2}", t.latency_percentile_ms(50.0)),
                 format!("{:.2}", t.latency_percentile_ms(95.0)),

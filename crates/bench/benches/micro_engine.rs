@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use cb_engine::btree::{AccessLog, BTree, BatchIngest};
-use cb_engine::{BufferPool, Row, Value};
+use cb_engine::{BufferPool, EvictionPolicyKind, Row, Value};
 use cb_store::{LogStore, PageId, PageStore, TxnId, WalOp, DEFAULT_SEGMENT_RECORDS};
 
 fn bench_btree(c: &mut Criterion) {
@@ -114,6 +114,35 @@ fn bench_bufferpool(c: &mut Criterion) {
             black_box(pool.touch(PageId(i), i.is_multiple_of(3)))
         })
     });
+    // Per-policy touch cost under mixed hit/evict traffic: a hot stride
+    // plus a cold streaming component, so every policy exercises its hit
+    // path, its insert path, and its victim selection (the SIEVE/CLOCK
+    // sweep, LRU-K's two lists) in one routine. All four must stay O(1).
+    for (kind, name) in [
+        (EvictionPolicyKind::Lru, "bufferpool_touch_lru"),
+        (EvictionPolicyKind::Sieve, "bufferpool_touch_sieve"),
+        (EvictionPolicyKind::Clock, "bufferpool_touch_clock"),
+        (EvictionPolicyKind::LruK, "bufferpool_touch_lruk"),
+    ] {
+        c.bench_function(name, |b| {
+            let mut pool = BufferPool::with_policy(256, kind);
+            for i in 0..256u64 {
+                pool.touch(PageId(i), false);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                // 3 hot re-touches within the resident stride, then one
+                // cold page that forces an eviction.
+                let id = if i.is_multiple_of(4) {
+                    1_000_000 + i
+                } else {
+                    (i * 13) % 192
+                };
+                black_box(pool.touch(PageId(id), i.is_multiple_of(3)))
+            })
+        });
+    }
 }
 
 fn bench_wal(c: &mut Criterion) {

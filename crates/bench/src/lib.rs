@@ -68,6 +68,80 @@ pub fn oltp_cell(
     }
 }
 
+/// One cell of the eviction-policy grid: throughput, cost, and the primary
+/// node's buffer-pool statistics over this cell's run (counter deltas — the
+/// pool object survives [`Deployment::reset_runtime`], so totals span runs).
+pub struct PolicyCell {
+    /// Average TPS over the window.
+    pub avg_tps: f64,
+    /// Buffer-pool hit percentage on the primary during this cell.
+    pub hit_pct: f64,
+    /// Dirty pages written back during this cell.
+    pub dirty_writebacks: u64,
+    /// RUC cost per minute.
+    pub cost_per_min: CostBreakdown,
+}
+
+/// Run one fixed-capacity OLTP cell under an explicit eviction policy,
+/// reporting the primary's hit rate alongside throughput. Identical run
+/// shape to [`oltp_cell`]; `eviction` feeds `RunOptions::eviction`.
+pub fn policy_cell(
+    dep: &mut Deployment,
+    mix: TxnMix,
+    concurrency: u32,
+    dist: AccessDistribution,
+    eviction: cb_engine::EvictionPolicyKind,
+) -> PolicyCell {
+    policy_cell_seeded(dep, mix, concurrency, dist, eviction, SEED)
+}
+
+/// [`policy_cell`] with an explicit workload seed — used by the policy
+/// grid's seed-stability check (`CB_SEED` in `fig8_policy_grid`).
+pub fn policy_cell_seeded(
+    dep: &mut Deployment,
+    mix: TxnMix,
+    concurrency: u32,
+    dist: AccessDistribution,
+    eviction: cb_engine::EvictionPolicyKind,
+    seed: u64,
+) -> PolicyCell {
+    dep.reset_runtime();
+    let duration = SimDuration::from_secs(MEASURE_SECS);
+    let spec = TenantSpec::constant(
+        concurrency,
+        duration,
+        mix,
+        dist,
+        KeyPartition::whole(dep.shape.orders, dep.shape.customers),
+    );
+    let opts = RunOptions {
+        seed,
+        vcores: VcoreControl::Fixed,
+        eviction: Some(eviction),
+        ..RunOptions::default()
+    };
+    let (h0, m0) = (dep.nodes[0].pool.hits(), dep.nodes[0].pool.misses());
+    let d0 = dep.nodes[0].pool.dirty_evictions();
+    let result = run(dep, &[spec], &opts);
+    let (h1, m1) = (dep.nodes[0].pool.hits(), dep.nodes[0].pool.misses());
+    let d1 = dep.nodes[0].pool.dirty_evictions();
+    let avg_tps = result.avg_tps(SimTime::ZERO, SimTime::ZERO + duration);
+    let usage = dep.usage(SimTime::ZERO, SimTime::ZERO + duration);
+    let cost = ruc_cost(&usage, &RucRates::default());
+    let minutes = duration.as_secs_f64() / 60.0;
+    let touches = (h1 - h0) + (m1 - m0);
+    PolicyCell {
+        avg_tps,
+        hit_pct: if touches == 0 {
+            0.0
+        } else {
+            100.0 * (h1 - h0) as f64 / touches as f64
+        },
+        dirty_writebacks: d1 - d0,
+        cost_per_min: cost.scaled(1.0 / minutes),
+    }
+}
+
 /// Build the standard 1 RW + 1 RO deployment for throughput experiments.
 pub fn standard_deployment(profile: &SutProfile, scale_factor: u64) -> Deployment {
     Deployment::new(profile.clone(), scale_factor, SIM_SCALE, 1, SEED)

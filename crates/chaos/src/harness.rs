@@ -30,7 +30,7 @@
 use cb_cluster::{plan_failover_with_detection, HeartbeatMonitor, NodeHealth};
 use cb_engine::exec::RemoteTier;
 use cb_engine::recovery::{analyze, undo_losers_durable};
-use cb_engine::{ExecCtx, IsolationLevel, Row, Value};
+use cb_engine::{EvictionPolicyKind, ExecCtx, IsolationLevel, Row, Value};
 use cb_obs::{
     ascii_timeline, chrome_trace_json, histogram_csv, histogram_summary_json, Category, ObsSink,
 };
@@ -78,6 +78,10 @@ pub struct ChaosOptions {
     /// commits whose acks are still pending. The snapshot-consistency
     /// oracle must catch it.
     pub bug_read_future_version: bool,
+    /// Buffer-pool eviction policy under test. Non-default policies must
+    /// leave every oracle green and the artifacts byte-identical across
+    /// worker counts, exactly like the default.
+    pub eviction: EvictionPolicyKind,
 }
 
 impl Default for ChaosOptions {
@@ -92,6 +96,7 @@ impl Default for ChaosOptions {
             arrival_rate: None,
             isolation: IsolationLevel::ReadCommitted,
             bug_read_future_version: false,
+            eviction: EvictionPolicyKind::Lru,
         }
     }
 }
@@ -229,7 +234,13 @@ struct Harness {
 
 impl Harness {
     fn new(profile: &SutProfile, seed: u64, schedule: FaultSchedule, opts: ChaosOptions) -> Self {
-        let dep = Deployment::new(profile.clone(), 1, opts.sim_scale, 1, seed);
+        let mut dep = Deployment::new(profile.clone(), 1, opts.sim_scale, 1, seed);
+        for node in &mut dep.nodes {
+            node.pool.set_policy(opts.eviction);
+        }
+        if let Some(rp) = dep.remote_pool.as_mut() {
+            rp.set_policy(opts.eviction);
+        }
         let shadow = ShadowModel::from_db(&dep.db);
         let mut root = DetRng::seeded(seed);
         let wl_rng = root.fork(0xB0B);
@@ -239,6 +250,14 @@ impl Harness {
         } else {
             ObsSink::disabled()
         };
+        // Tag the run with the policy under test so artifacts are
+        // self-describing (and still byte-identical across worker counts).
+        obs.instant(
+            Category::BufferPool,
+            &format!("policy:{}", opts.eviction.label()),
+            0,
+            SimTime::ZERO,
+        );
         let mut gc_cfg = profile.group_commit;
         if let Some(window) = opts.group_commit_window {
             gc_cfg.window = window;

@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 
 use cb_chaos::{run_campaign_jobs, run_seed, ChaosOptions, FaultSchedule, ShrunkViolation};
-use cb_engine::IsolationLevel;
+use cb_engine::{EvictionPolicyKind, IsolationLevel};
 use cb_sut::SutProfile;
 
 /// Parsed `chaos` subcommand arguments.
@@ -20,6 +20,7 @@ struct ChaosArgs {
     replay: Option<u64>,
     bug_skip_redo: Option<usize>,
     isolation: IsolationLevel,
+    eviction: EvictionPolicyKind,
     txns: u64,
     jobs: usize,
     out: Option<PathBuf>,
@@ -29,7 +30,8 @@ fn chaos_usage() -> String {
     let names: Vec<&str> = SutProfile::all().iter().map(|p| p.name).collect();
     format!(
         "usage: cloudybench chaos [--seeds N] [--profile NAME] [--replay SEED]\n\
-         \x20                        [--isolation LEVEL] [--txns N] [--jobs N]\n\
+         \x20                        [--isolation LEVEL] [--eviction POLICY]\n\
+         \x20                        [--txns N] [--jobs N]\n\
          \x20                        [--bug-skip-redo N] [--out DIR]\n\
          \n\
          --seeds N          seeds 0..N per profile (default 20)\n\
@@ -37,6 +39,9 @@ fn chaos_usage() -> String {
          --replay SEED      re-run one seed, printing its fault schedule\n\
          --isolation LEVEL  rc|si|ser (default rc); si/ser turn on version\n\
          \x20                  publication and the snapshot-consistency oracle\n\
+         --eviction POLICY  lru|sieve|clock|lru-k buffer-pool eviction\n\
+         \x20                  (default lru); oracles and cross-jobs identity\n\
+         \x20                  must hold under every policy\n\
          --txns N           workload transactions per seed (default 60)\n\
          --jobs N           worker threads per campaign (default: available\n\
          \x20                  parallelism; reports are byte-identical to --jobs 1)\n\
@@ -53,6 +58,7 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ChaosArgs, String> {
         replay: None,
         bug_skip_redo: None,
         isolation: IsolationLevel::ReadCommitted,
+        eviction: EvictionPolicyKind::Lru,
         txns: 60,
         jobs: cloudybench::parallel::default_jobs(),
         out: None,
@@ -93,6 +99,11 @@ fn parse(args: impl Iterator<Item = String>) -> Result<ChaosArgs, String> {
                 let name = value("--isolation")?;
                 parsed.isolation = IsolationLevel::parse(&name)
                     .ok_or_else(|| format!("unknown isolation {name:?}\n{}", chaos_usage()))?;
+            }
+            "--eviction" => {
+                let name = value("--eviction")?;
+                parsed.eviction = EvictionPolicyKind::parse(&name)
+                    .ok_or_else(|| format!("unknown eviction {name:?}\n{}", chaos_usage()))?;
             }
             "--txns" => {
                 parsed.txns = value("--txns")?
@@ -144,6 +155,7 @@ pub fn chaos_main(args: impl Iterator<Item = String>) -> u8 {
         txns: parsed.txns,
         bug_skip_redo: parsed.bug_skip_redo,
         isolation: parsed.isolation,
+        eviction: parsed.eviction,
         ..ChaosOptions::default()
     };
     if let Some(seed) = parsed.replay {

@@ -9,6 +9,7 @@
 pub mod chaos_cmd;
 pub mod load_cmd;
 
+use cb_engine::EvictionPolicyKind;
 use cb_obs::ObsSink;
 use cb_sim::{SimDuration, SimTime};
 use cb_sut::SutProfile;
@@ -72,8 +73,10 @@ fn parse_mix(props: &Props) -> Result<TxnMix, CliError> {
         m if m.eq_ignore_ascii_case("ro") => Ok(TxnMix::read_only()),
         m if m.eq_ignore_ascii_case("rw") => Ok(TxnMix::read_write()),
         m if m.eq_ignore_ascii_case("wo") => Ok(TxnMix::write_only()),
+        m if m.eq_ignore_ascii_case("scan-resistant") => Ok(TxnMix::scan_resistant(10.0)),
         other => {
-            // t1:t2:t3:t4 weights, e.g. "15:5:80:0".
+            // t1:t2:t3:t4 weights, e.g. "15:5:80:0", with an optional fifth
+            // T5 range-scan weight ("0:0:90:0:10").
             let parts: Vec<f64> = other
                 .split(':')
                 .map(|p| p.trim().parse::<f64>())
@@ -81,16 +84,20 @@ fn parse_mix(props: &Props) -> Result<TxnMix, CliError> {
                 .map_err(|_| CliError::Unknown {
                     key: "mix",
                     value: other.to_string(),
-                    expected: "ro, rw, wo, or t1:t2:t3:t4 weights",
+                    expected: "ro, rw, wo, scan-resistant, or t1:t2:t3:t4[:t5] weights",
                 })?;
-            if parts.len() != 4 {
+            if parts.len() != 4 && parts.len() != 5 {
                 return Err(CliError::Unknown {
                     key: "mix",
                     value: other.to_string(),
-                    expected: "four weights t1:t2:t3:t4",
+                    expected: "weights t1:t2:t3:t4 or t1:t2:t3:t4:t5",
                 });
             }
-            Ok(TxnMix::new(parts[0], parts[1], parts[2], parts[3]))
+            let mix = TxnMix::new(parts[0], parts[1], parts[2], parts[3]);
+            Ok(match parts.get(4) {
+                Some(&scan) if scan > 0.0 => mix.with_scan(scan),
+                _ => mix,
+            })
         }
     }
 }
@@ -102,15 +109,44 @@ fn parse_distribution(props: &Props) -> Result<AccessDistribution, CliError> {
             let n: u32 = d[7..].parse().map_err(|_| CliError::Unknown {
                 key: "distribution",
                 value: d.to_string(),
-                expected: "uniform or latest-N",
+                expected: "uniform, latest-N, or zipfian-THETA",
             })?;
             Ok(AccessDistribution::Latest(n))
+        }
+        d if d.to_ascii_lowercase().starts_with("zipfian-") => {
+            // Skew exponent as a decimal, e.g. "zipfian-0.99" (YCSB default).
+            let theta: f64 = d[8..]
+                .parse()
+                .ok()
+                .filter(|t| (0.0..1.0).contains(t))
+                .ok_or(CliError::Unknown {
+                    key: "distribution",
+                    value: d.to_string(),
+                    expected: "zipfian-THETA with 0 <= THETA < 1",
+                })?;
+            Ok(AccessDistribution::Zipfian((theta * 1000.0).round() as u16))
         }
         other => Err(CliError::Unknown {
             key: "distribution",
             value: other.to_string(),
-            expected: "uniform or latest-N",
+            expected: "uniform, latest-N, or zipfian-THETA",
         }),
+    }
+}
+
+/// Parse the optional `eviction` key into a buffer-pool policy override.
+/// Absent means "use the SUT profile's default" (LRU everywhere), which
+/// keeps existing props files bit-identical.
+fn parse_eviction(props: &Props) -> Result<Option<EvictionPolicyKind>, CliError> {
+    match props.get("eviction") {
+        None => Ok(None),
+        Some(v) => EvictionPolicyKind::parse(v)
+            .map(Some)
+            .ok_or(CliError::Unknown {
+                key: "eviction",
+                value: v.to_string(),
+                expected: "lru, sieve, clock, lru-k",
+            }),
     }
 }
 
@@ -186,6 +222,7 @@ pub fn run_from_props_with_obs(props: &Props, obs: &ObsSink) -> Result<String, C
                 seed,
                 vcores: VcoreControl::Fixed,
                 obs: obs.clone(),
+                eviction: parse_eviction(props)?,
                 ..RunOptions::default()
             };
             let result = run(&mut dep, &[spec], &opts);
@@ -235,6 +272,7 @@ pub fn run_from_props_with_obs(props: &Props, obs: &ObsSink) -> Result<String, C
                 let opts = RunOptions {
                     seed,
                     obs: obs.clone(),
+                    eviction: parse_eviction(props)?,
                     ..RunOptions::default()
                 };
                 let result = run(&mut dep, &[spec], &opts);
@@ -398,6 +436,22 @@ mod tests {
             assert!(!t.journal().is_empty());
         })
         .expect("sink enabled");
+    }
+
+    #[test]
+    fn eviction_zipfian_and_scan_mix_keys_parse() {
+        let report = go(
+            "sut = cdb2\nmode = oltp\nsim_scale = 2000\nconcurrency = 10\nduration_secs = 3\nmix = 0:0:90:0:10\ndistribution = zipfian-0.99\neviction = sieve",
+        );
+        assert!(report.contains("avg TPS"), "{report}");
+        assert!(report.contains("0:0:90:0:10"), "{report}");
+
+        let props = Props::parse("eviction = mru").unwrap();
+        let e = run_from_props(&props).unwrap_err();
+        assert!(e.to_string().contains("sieve"), "{e}");
+        let props = Props::parse("distribution = zipfian-1.5\nsim_scale = 2000").unwrap();
+        let e = run_from_props(&props).unwrap_err();
+        assert!(e.to_string().contains("THETA"), "{e}");
     }
 
     #[test]

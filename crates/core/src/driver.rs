@@ -16,7 +16,7 @@ use cb_cluster::{plan_failover, plan_ro_failover, FailoverTimeline, ScaleSample,
 use cb_engine::exec::RemoteTier;
 use cb_engine::recovery::analyze;
 use cb_engine::sql::{execute, BoundStmt};
-use cb_engine::{ExecCtx, IsolationLevel, Value};
+use cb_engine::{EvictionPolicyKind, ExecCtx, IsolationLevel, Value};
 use cb_obs::{Category, LogHistogram, ObsSink};
 use cb_sim::{DetRng, EventQueue, SimDuration, SimTime, TpsRecorder};
 use cb_store::Lsn;
@@ -29,6 +29,13 @@ use crate::workload::{AccessDistribution, KeyPartition, TxnKind, TxnMix};
 /// transaction separately, which is what makes TPS climb with concurrency
 /// until the server saturates (Fig 5's shape).
 pub const CLIENT_RTT: SimDuration = SimDuration::from_micros(1200);
+
+/// Orders touched by one T5 range sweep. Sized so a single scan pulls a few
+/// hundred leaf pages through the buffer pool — enough to evict a 44 MB
+/// (scaled) pool's entire hot set under pure LRU, which is exactly the
+/// pollution pattern the scan-resistant policies (SIEVE / CLOCK / LRU-K)
+/// are meant to survive.
+pub const SCAN_SPAN: i64 = 4096;
 
 /// One tenant's offered load: a concurrency schedule plus workload shape.
 #[derive(Clone, Debug)]
@@ -174,6 +181,12 @@ pub struct RunOptions {
     /// reads from the snapshot at transaction start — never blocking,
     /// never registering in the lock table.
     pub isolation: Option<IsolationLevel>,
+    /// Buffer-pool replacement policy for every pool in the deployment
+    /// (local pools and the shared remote tier). `None` defers to the SUT
+    /// profile's `default_eviction` (LRU on all five — what the modelled
+    /// services ship). Selecting the default is a strict no-op, so pre-
+    /// policy runs stay bit-identical.
+    pub eviction: Option<EvictionPolicyKind>,
     /// Observability sink: span tracing, histograms, counters. Disabled by
     /// default (zero overhead); enable with `ObsSink::enabled()` to capture
     /// a full virtual-time trace of the run.
@@ -189,8 +202,32 @@ impl Default for RunOptions {
             collect_lag: false,
             failure: None,
             isolation: None,
+            eviction: None,
             obs: ObsSink::disabled(),
         }
+    }
+}
+
+/// Resolve and install the run's eviction policy on every pool of the
+/// deployment, and tag the trace with the policy that ran (one instant on
+/// the buffer-pool track — the per-policy `bufpool.*` counters then make
+/// the hit/miss attribution unambiguous). Installing the already-active
+/// policy leaves each pool untouched.
+pub(crate) fn apply_eviction(dep: &mut Deployment, opts: &RunOptions) {
+    let kind = opts.eviction.unwrap_or(dep.profile.default_eviction);
+    for node in &mut dep.nodes {
+        node.pool.set_policy(kind);
+    }
+    if let Some(rp) = dep.remote_pool.as_mut() {
+        rp.set_policy(kind);
+    }
+    if opts.obs.is_enabled() {
+        opts.obs.instant(
+            Category::BufferPool,
+            &format!("policy:{}", kind.label()),
+            0,
+            SimTime::ZERO,
+        );
     }
 }
 
@@ -268,7 +305,7 @@ impl LagSamples {
             TxnKind::NewOrderline => &mut self.insert,
             TxnKind::OrderPayment => &mut self.update,
             TxnKind::OrderlineDeletion => &mut self.delete,
-            TxnKind::OrderStatus => return,
+            TxnKind::OrderStatus | TxnKind::OrderRangeScan => return,
         };
         if bucket.len() < Self::CAP {
             bucket.push(lag);
@@ -468,6 +505,7 @@ struct Client {
 /// is exhausted.
 pub fn run(dep: &mut Deployment, tenants: &[TenantSpec], opts: &RunOptions) -> RunResult {
     assert!(!tenants.is_empty(), "at least one tenant required");
+    apply_eviction(dep, opts);
     let horizon_d: SimDuration = tenants
         .iter()
         .map(TenantSpec::duration)
@@ -703,6 +741,13 @@ pub(crate) fn attempt_txn(
             let ol = rng.range_inclusive(1, orderline_hwm.max(1));
             (vec![(dep.tables.orderline, ol)], 0, ol)
         }
+        TxnKind::OrderRangeScan => {
+            // Uniform start within the partition: the sweep deliberately
+            // ignores the tenant's access distribution so it drags cold
+            // pages through the pool. One RNG draw, like the other kinds.
+            let o = rng.range_inclusive(p.orders_lo, p.orders_hi);
+            (vec![], o, 0)
+        }
     };
 
     let iso = opts.isolation.unwrap_or(dep.profile.default_isolation);
@@ -755,6 +800,7 @@ pub(crate) fn attempt_txn(
         streams,
         remote_pool,
         registry,
+        tables,
         ..
     } = dep;
     let node = &mut nodes[node_idx];
@@ -828,6 +874,13 @@ pub(crate) fn attempt_txn(
                 &[Value::Int(ol_id)],
             )
             .expect("t4 must execute");
+        }
+        TxnKind::OrderRangeScan => {
+            // T5 bypasses the statement registry (whose shape is pinned by
+            // the deploy tests) and drives the clustered tree directly; the
+            // same page/row cost accounting applies via ExecCtx.
+            let hi = o_id.saturating_add(SCAN_SPAN - 1).min(p.orders_hi);
+            db.scan_range(&mut ctx, tables.orders, o_id, hi, |_, _| true);
         }
     }
     let committed = db.commit(&mut ctx, txn);

@@ -140,6 +140,7 @@ pub fn run_open_loop(
     spec: &OpenLoopSpec,
     opts: &RunOptions,
 ) -> OpenLoopResult {
+    crate::driver::apply_eviction(dep, opts);
     let horizon_d = spec.plan.phases.total();
     let horizon = SimTime::ZERO + horizon_d;
     let (measure_from, measure_to) = spec.plan.phases.measure_window();

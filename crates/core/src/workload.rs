@@ -1,9 +1,11 @@
-//! The cloud OLTP workload: transactions T1–T4, mixes, and access
-//! distributions (paper Table II and Section II-B).
+//! The cloud OLTP workload: transactions T1–T4 (plus the T5 range-scan
+//! extension), mixes, and access distributions (paper Table II and
+//! Section II-B).
 
 use cb_sim::DetRng;
 
-/// The four CloudyBench transactions.
+/// The CloudyBench transactions (T1–T4 from the paper, plus the T5
+/// range-scan used by the scan-resistance eviction experiments).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TxnKind {
     /// T1 — New Orderline (write-only INSERT).
@@ -14,26 +16,32 @@ pub enum TxnKind {
     OrderStatus,
     /// T4 — Orderline Deletion (DELETE).
     OrderlineDeletion,
+    /// T5 — Order Range Scan (read-only range sweep over the orders table).
+    /// Not part of the paper's mixes; it exists to pollute the buffer pool
+    /// with one-touch pages so replacement policies can be compared.
+    OrderRangeScan,
 }
 
 impl TxnKind {
-    /// Short label ("T1"…"T4").
+    /// Short label ("T1"…"T5").
     pub fn label(self) -> &'static str {
         match self {
             TxnKind::NewOrderline => "T1",
             TxnKind::OrderPayment => "T2",
             TxnKind::OrderStatus => "T3",
             TxnKind::OrderlineDeletion => "T4",
+            TxnKind::OrderRangeScan => "T5",
         }
     }
 
     /// True if the transaction only reads.
     pub fn is_read_only(self) -> bool {
-        self == TxnKind::OrderStatus
+        self == TxnKind::OrderStatus || self == TxnKind::OrderRangeScan
     }
 }
 
-/// A transaction mix as weights over T1..T4.
+/// A transaction mix as weights over T1..T4, plus an optional T5 scan
+/// weight (zero in every paper mix).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TxnMix {
     /// Weight of T1 (New Orderline).
@@ -44,17 +52,42 @@ pub struct TxnMix {
     pub t3: f64,
     /// Weight of T4 (Orderline Deletion).
     pub t4: f64,
+    /// Weight of T5 (Order Range Scan). Zero for all paper mixes; positive
+    /// only in the scan-resistance workloads.
+    pub scan: f64,
 }
 
 impl TxnMix {
-    /// Build a mix; at least one weight must be positive.
+    /// Build a mix over T1..T4; at least one weight must be positive.
     pub fn new(t1: f64, t2: f64, t3: f64, t4: f64) -> Self {
         assert!(
             t1 >= 0.0 && t2 >= 0.0 && t3 >= 0.0 && t4 >= 0.0,
             "negative weight"
         );
         assert!(t1 + t2 + t3 + t4 > 0.0, "all weights zero");
-        TxnMix { t1, t2, t3, t4 }
+        TxnMix {
+            t1,
+            t2,
+            t3,
+            t4,
+            scan: 0.0,
+        }
+    }
+
+    /// Add a T5 range-scan weight to this mix.
+    pub fn with_scan(mut self, scan: f64) -> Self {
+        assert!(scan >= 0.0, "negative weight");
+        self.scan = scan;
+        self
+    }
+
+    /// The scan-resistance mix: a hot point-read stream (T3) polluted by
+    /// periodic range sweeps (T5). Pair with a skewed
+    /// [`AccessDistribution::Zipfian`] so the point reads have a hot set a
+    /// scan-resistant policy can protect.
+    pub fn scan_resistant(scan_pct: f64) -> Self {
+        assert!((0.0..100.0).contains(&scan_pct), "scan_pct in [0, 100)");
+        TxnMix::new(0.0, 0.0, 100.0 - scan_pct, 0.0).with_scan(scan_pct)
     }
 
     /// The paper's read-only pattern: (t1:t2:t3) = (0:0:100).
@@ -80,18 +113,26 @@ impl TxnMix {
 
     /// Sample a transaction kind.
     pub fn pick(&self, rng: &mut DetRng) -> TxnKind {
-        const KINDS: [TxnKind; 4] = [
+        const KINDS: [TxnKind; 5] = [
             TxnKind::NewOrderline,
             TxnKind::OrderPayment,
             TxnKind::OrderStatus,
             TxnKind::OrderlineDeletion,
+            TxnKind::OrderRangeScan,
         ];
-        KINDS[rng.pick_weighted(&[self.t1, self.t2, self.t3, self.t4])]
+        // Paper mixes never carry a scan weight; keep their RNG draw over
+        // exactly four weights so every pre-T5 run stays bit-identical
+        // (same draw, same fallback index on the degenerate float edge).
+        if self.scan == 0.0 {
+            KINDS[rng.pick_weighted(&[self.t1, self.t2, self.t3, self.t4])]
+        } else {
+            KINDS[rng.pick_weighted(&[self.t1, self.t2, self.t3, self.t4, self.scan])]
+        }
     }
 
     /// Fraction of write transactions.
     pub fn write_fraction(&self) -> f64 {
-        (self.t1 + self.t2 + self.t4) / (self.t1 + self.t2 + self.t3 + self.t4)
+        (self.t1 + self.t2 + self.t4) / (self.t1 + self.t2 + self.t3 + self.t4 + self.scan)
     }
 
     /// Human-readable mix label.
@@ -102,13 +143,19 @@ impl TxnMix {
             "RW".to_string()
         } else if *self == TxnMix::write_only() {
             "WO".to_string()
+        } else if self.scan > 0.0 {
+            format!(
+                "({}:{}:{}:{}:{})",
+                self.t1, self.t2, self.t3, self.t4, self.scan
+            )
         } else {
             format!("({}:{}:{}:{})", self.t1, self.t2, self.t3, self.t4)
         }
     }
 }
 
-/// How substitution parameters are chosen (paper Section II-B1).
+/// How substitution parameters are chosen (paper Section II-B1, plus the
+/// Zipfian skew used by the eviction-policy experiments).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessDistribution {
     /// Parameters drawn uniformly from the key range.
@@ -116,10 +163,17 @@ pub enum AccessDistribution {
     /// The `latest-N` skew: T2 updates N specific (most recent) orders and
     /// T3 reads those same orders — the more skewed, the fresher the reads.
     Latest(u32),
+    /// YCSB-style Zipfian skew with θ given in per-mille (e.g.
+    /// `Zipfian(990)` is the classic θ = 0.99), so the variant stays `Eq`
+    /// and hashable. Rank 0 (the hottest key) maps to the low end of the
+    /// range, so the hot set is contiguous — a small, protectable page
+    /// footprint. Requires θ < 1 (per-mille < 1000).
+    Zipfian(u16),
 }
 
 impl AccessDistribution {
-    /// Pick an order id from `[lo, hi]` under this distribution.
+    /// Pick an order id from `[lo, hi]` under this distribution. Every
+    /// variant consumes exactly one RNG draw.
     pub fn pick_order(&self, rng: &mut DetRng, lo: i64, hi: i64) -> i64 {
         debug_assert!(lo <= hi);
         match self {
@@ -127,6 +181,30 @@ impl AccessDistribution {
             AccessDistribution::Latest(n) => {
                 let n = i64::from(*n).max(1).min(hi - lo + 1);
                 rng.range_inclusive(hi - n + 1, hi)
+            }
+            AccessDistribution::Zipfian(pm) => {
+                assert!(*pm < 1000, "Zipfian θ must be < 1");
+                let n = (hi - lo + 1) as f64;
+                let theta = f64::from(*pm) / 1000.0;
+                // YCSB's rejection-free sampler with the harmonic sums in
+                // closed form (integral approximation of ζ(n, θ); exact for
+                // ζ(2, θ)) — O(1) per draw, no precomputed tables, and a
+                // pure function of (seed, range), so runs stay
+                // deterministic whatever order tenants sample in.
+                let zetan = 1.0 + (n.powf(1.0 - theta) - 1.0) / (1.0 - theta);
+                let zeta2 = 1.0 + 0.5f64.powf(theta);
+                let alpha = 1.0 / (1.0 - theta);
+                let eta = (1.0 - (2.0 / n).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                let u = rng.unit();
+                let uz = u * zetan;
+                let rank = if uz < 1.0 {
+                    0
+                } else if uz < zeta2 {
+                    1
+                } else {
+                    (n * (eta * u - eta + 1.0).powf(alpha)) as i64
+                };
+                lo + rank.clamp(0, hi - lo)
             }
         }
     }
@@ -196,19 +274,84 @@ mod tests {
     fn mix_sampling_respects_weights() {
         let mix = TxnMix::read_write();
         let mut rng = DetRng::seeded(1);
-        let mut counts = [0u32; 4];
+        let mut counts = [0u32; 5];
         for _ in 0..10_000 {
             match mix.pick(&mut rng) {
                 TxnKind::NewOrderline => counts[0] += 1,
                 TxnKind::OrderPayment => counts[1] += 1,
                 TxnKind::OrderStatus => counts[2] += 1,
                 TxnKind::OrderlineDeletion => counts[3] += 1,
+                TxnKind::OrderRangeScan => counts[4] += 1,
             }
         }
         assert!((1300..1700).contains(&counts[0]), "{counts:?}");
         assert!((350..650).contains(&counts[1]), "{counts:?}");
         assert!((7700..8300).contains(&counts[2]), "{counts:?}");
         assert_eq!(counts[3], 0);
+        assert_eq!(counts[4], 0, "paper mixes never sample T5");
+    }
+
+    #[test]
+    fn scan_mix_samples_t5_without_perturbing_zero_scan_draws() {
+        let mix = TxnMix::scan_resistant(10.0);
+        assert!((mix.write_fraction()).abs() < 1e-12, "T3 + T5 is read-only");
+        let mut rng = DetRng::seeded(6);
+        let mut scans = 0u32;
+        for _ in 0..10_000 {
+            let k = mix.pick(&mut rng);
+            assert!(k.is_read_only());
+            if k == TxnKind::OrderRangeScan {
+                scans += 1;
+            }
+        }
+        assert!((800..1200).contains(&scans), "scans = {scans}");
+        // A zero scan weight must keep the exact pre-T5 draw sequence:
+        // same seed, same picks as the four-weight sampler.
+        let four = TxnMix::read_write();
+        let mut a = DetRng::seeded(7);
+        let mut b = DetRng::seeded(7);
+        for _ in 0..1_000 {
+            let got = four.pick(&mut a);
+            let want = [
+                TxnKind::NewOrderline,
+                TxnKind::OrderPayment,
+                TxnKind::OrderStatus,
+                TxnKind::OrderlineDeletion,
+            ][b.pick_weighted(&[four.t1, four.t2, four.t3, four.t4])];
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_the_low_end() {
+        let d = AccessDistribution::Zipfian(990);
+        let mut rng = DetRng::seeded(8);
+        let mut hot = 0u32;
+        let mut in_range = true;
+        for _ in 0..10_000 {
+            let k = d.pick_order(&mut rng, 1, 10_000);
+            in_range &= (1..=10_000).contains(&k);
+            // The hottest 1% of keys should absorb the majority of draws
+            // at θ = 0.99.
+            if k <= 100 {
+                hot += 1;
+            }
+        }
+        assert!(in_range);
+        assert!(hot > 5_000, "hot-100 draws = {hot}");
+        // Degenerate single-key range never escapes it.
+        for _ in 0..100 {
+            assert_eq!(d.pick_order(&mut rng, 42, 42), 42);
+        }
+        // Milder skew spreads out more.
+        let mild = AccessDistribution::Zipfian(500);
+        let mut mild_hot = 0u32;
+        for _ in 0..10_000 {
+            if mild.pick_order(&mut rng, 1, 10_000) <= 100 {
+                mild_hot += 1;
+            }
+        }
+        assert!(mild_hot < hot, "θ0.5 {mild_hot} < θ0.99 {hot}");
     }
 
     #[test]

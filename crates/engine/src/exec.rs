@@ -11,8 +11,37 @@ use cb_obs::{Category, ObsSink};
 use cb_sim::{SimDuration, SimTime};
 use cb_store::{GroupCommit, PageId, StorageService};
 
-use crate::bufferpool::BufferPool;
+use crate::bufferpool::{BufferPool, EvictionPolicyKind};
 use crate::mvcc::IsolationLevel;
+
+/// Per-policy obs counter names (static so the hot path never allocates):
+/// `(bufpool.hit.*, bufpool.miss.*, bufpool.dirty_evict.*)`. These sit
+/// alongside the policy-agnostic `bufferpool.*` counters so a trace always
+/// shows which replacement policy produced its hit/miss profile.
+fn policy_counters(kind: EvictionPolicyKind) -> (&'static str, &'static str, &'static str) {
+    match kind {
+        EvictionPolicyKind::Lru => (
+            "bufpool.hit.lru",
+            "bufpool.miss.lru",
+            "bufpool.dirty_evict.lru",
+        ),
+        EvictionPolicyKind::Sieve => (
+            "bufpool.hit.sieve",
+            "bufpool.miss.sieve",
+            "bufpool.dirty_evict.sieve",
+        ),
+        EvictionPolicyKind::Clock => (
+            "bufpool.hit.clock",
+            "bufpool.miss.clock",
+            "bufpool.dirty_evict.clock",
+        ),
+        EvictionPolicyKind::LruK => (
+            "bufpool.hit.lru-k",
+            "bufpool.miss.lru-k",
+            "bufpool.dirty_evict.lru-k",
+        ),
+    }
+}
 
 /// Tunable CPU/cache cost constants. One per SUT profile.
 #[derive(Clone, Copy, Debug)]
@@ -166,13 +195,16 @@ impl<'a> ExecCtx<'a> {
     pub fn charge_page(&mut self, id: PageId, write: bool) {
         self.cpu += self.model.cpu_per_page;
         let mark_dirty = write && !self.storage.arch().redo_pushdown();
+        let (hit_ctr, miss_ctr, dirty_ctr) = policy_counters(self.pool.policy_kind());
         let access = self.pool.touch(id, mark_dirty);
         if access.hit {
             self.stats.local_hits += 1;
             self.io += self.model.local_hit;
             self.obs.add("bufferpool.hits", 1);
+            self.obs.add(hit_ctr, 1);
             return;
         }
+        self.obs.add(miss_ctr, 1);
         // Local miss: try the remote tier, then storage.
         let mut served_remote = false;
         if let Some(remote) = self.remote.as_mut() {
@@ -217,6 +249,31 @@ impl<'a> ExecCtx<'a> {
             }
             self.stats.page_writebacks += 1;
             self.obs.add("bufferpool.writebacks", 1);
+            self.obs.add(dirty_ctr, 1);
+        }
+    }
+
+    /// Resize the local pool, routing dirty shrink-evictions through the
+    /// same write-back accounting as touch-evictions: the remote tier
+    /// absorbs them when present (at remote-hit latency), otherwise each
+    /// one pays a storage page write. Calling [`BufferPool::resize`]
+    /// directly drops those write-backs on the floor — use this instead
+    /// whenever a context is live.
+    pub fn resize_pool(&mut self, capacity: usize) {
+        let (_, _, dirty_ctr) = policy_counters(self.pool.policy_kind());
+        for victim in self.pool.resize(capacity) {
+            if let Some(remote) = self.remote.as_mut() {
+                remote.pool.touch(victim, true);
+                self.io += self.model.remote_hit;
+            } else {
+                let at = self.io_now();
+                self.io += self.storage.page_write_cost(at);
+                self.obs
+                    .instant(Category::BufferPool, "flush", self.track, at);
+            }
+            self.stats.page_writebacks += 1;
+            self.obs.add("bufferpool.writebacks", 1);
+            self.obs.add(dirty_ctr, 1);
         }
     }
 
@@ -411,6 +468,58 @@ mod tests {
         assert_eq!(ctx.stats.remote_hits, 1);
         let _ = ctx;
         assert!(remote_pool.contains(PageId(1)));
+    }
+
+    #[test]
+    fn resize_shrink_charges_dirty_writebacks() {
+        // Regression: pool shrinks used to call BufferPool::resize directly
+        // and silently drop the dirty evictions — no I/O wait, no
+        // page_writebacks. The context-level resize must charge them
+        // exactly like touch-evictions.
+        let mut pool = BufferPool::new(4);
+        let mut storage = coupled_storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(SimTime::ZERO, &mut pool, None, &mut storage, &model);
+        ctx.charge_page(PageId(1), true);
+        ctx.charge_page(PageId(2), true);
+        ctx.charge_page(PageId(3), false);
+        let before_io = ctx.io;
+        ctx.resize_pool(1);
+        assert_eq!(ctx.pool.capacity(), 1);
+        assert_eq!(ctx.pool.len(), 1);
+        assert_eq!(ctx.stats.page_writebacks, 2, "both dirty victims charged");
+        // Two storage page writes' worth of I/O was actually paid.
+        assert!(
+            ctx.io - before_io >= SimDuration::from_micros(180),
+            "io delta = {}",
+            ctx.io - before_io
+        );
+    }
+
+    #[test]
+    fn resize_shrink_writes_back_into_remote_tier() {
+        let mut local = BufferPool::new(4);
+        let mut remote_pool = BufferPool::new(1024);
+        let mut storage = memdisagg_storage();
+        let model = CostModel::default();
+        let mut ctx = ExecCtx::new(
+            SimTime::ZERO,
+            &mut local,
+            Some(RemoteTier {
+                pool: &mut remote_pool,
+            }),
+            &mut storage,
+            &model,
+        );
+        ctx.charge_page(PageId(1), true);
+        ctx.charge_page(PageId(2), false);
+        ctx.resize_pool(1);
+        assert_eq!(ctx.stats.page_writebacks, 1);
+        let _ = ctx;
+        assert!(
+            remote_pool.contains(PageId(1)),
+            "dirty shrink-eviction lands in the remote tier"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! * [`value`] — typed values, rows, schemas, row-image serialization.
 //! * [`slotted`] — slotted leaf pages.
 //! * [`btree`] — a clustered B+tree over fixed-size pages.
-//! * [`bufferpool`] — per-node LRU cache simulator (hits/misses/dirty).
+//! * [`bufferpool`] — per-node page-cache simulator (hits/misses/dirty)
+//!   with pluggable replacement policies (LRU / SIEVE / CLOCK / LRU-K).
 //! * [`locks`] — virtual-time 2PL row locks.
 //! * [`mvcc`] — version chains, snapshot visibility, watermark GC, and the
 //!   selectable [`IsolationLevel`]s.
@@ -32,7 +33,7 @@ pub mod sql;
 pub mod value;
 
 pub use btree::{AccessLog, BTree, DuplicateKey};
-pub use bufferpool::{Access, BufferPool};
+pub use bufferpool::{Access, BufferPool, EvictionPolicy, EvictionPolicyKind};
 pub use db::{Committed, Database, EngineError, TxnHandle};
 pub use exec::{CostModel, ExecCtx, ExecStats, RemoteTier};
 pub use locks::{LockTable, RowKey};
